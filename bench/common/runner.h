@@ -1,0 +1,159 @@
+// Shared experiment engine for the benchmark harness.
+//
+// For every matrix in the 107-matrix suite it computes, once:
+//   * the non-sparsified PCG baseline (for ILU(K): after the paper's
+//     best-converging-K selection over {10, 20, 30, 40}),
+//   * one variant per fixed sparsification ratio (default 1/5/10%),
+//   * the wavefront-aware (Algorithm 2) choice among those ratios,
+//   * modeled device times (A100 / V100 / EPYC CPU) for every variant:
+//     per-iteration, factorization, sparsification overhead, and the
+//     §5.3-style DRAM/compute utilization counters.
+//
+// Iteration counts and convergence come from real double-precision PCG runs
+// on the ORIGINAL system with the (sparsified) preconditioner; device times
+// come from the calibrated analytical model (DESIGN.md §3). Results are
+// cached on disk keyed by a config fingerprint so the dozen bench binaries
+// do not redo the suite-wide computation.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spcg.h"
+#include "gen/suite.h"
+#include "gpumodel/cost_model.h"
+#include "gpumodel/device.h"
+
+namespace spcg::bench {
+
+/// Modeled times for one variant on one device.
+struct DeviceTimes {
+  double per_iteration_s = 0.0;
+  double factorization_s = 0.0;  // device-modeled ILU(0) / host ILU(K)
+  double sparsify_s = 0.0;       // host-modeled Algorithm 2 / split pass
+  double dram_utilization = 0.0;     // iteration bytes/s over peak bandwidth
+  double compute_utilization = 0.0;  // iteration flops/s over peak compute
+
+  [[nodiscard]] double end_to_end_s(std::int32_t iterations) const {
+    return sparsify_s + factorization_s +
+           static_cast<double>(iterations) * per_iteration_s;
+  }
+};
+
+/// One solver configuration (baseline or a fixed sparsification ratio).
+struct VariantRecord {
+  std::string label;           // "baseline", "1%", "5%", "10%", ...
+  double ratio_percent = 0.0;  // 0 for the baseline
+  bool converged = false;
+  std::int32_t iterations = 0;
+  double final_residual = 0.0;
+  index_t matrix_wavefronts = 0;  // wavefronts of the preconditioner input
+  index_t factor_nnz = 0;
+  index_t factor_wavefronts = 0;
+  std::uint64_t elimination_ops = 0;
+  std::map<std::string, DeviceTimes> device;  // keyed by DeviceSpec::name
+};
+
+/// Everything measured for one suite matrix.
+struct MatrixRecord {
+  MatrixSpec spec;
+  index_t n = 0;
+  index_t nnz = 0;
+  index_t wavefronts = 0;  // of A
+  index_t chosen_k = 0;    // selected fill level (ILU(K) runs only)
+  VariantRecord baseline;
+  std::vector<VariantRecord> ratios;  // config order (ascending ratio)
+  int spcg_choice = -1;               // index into `ratios`
+  std::string spcg_outcome;           // Algorithm 2 outcome label
+  double spcg_reduction_percent = 0.0;
+  double spcg_sparsify_model_s = 0.0;  // Algorithm 2 host-model overhead
+
+  [[nodiscard]] const VariantRecord& spcg() const { return ratios.at(static_cast<std::size_t>(spcg_choice)); }
+
+  /// End-to-end speedup of the Algorithm 2 choice, charging its full
+  /// sparsification overhead (all candidate passes) instead of the chosen
+  /// ratio's single-pass cost.
+  [[nodiscard]] std::optional<double> spcg_end_to_end_speedup(
+      const std::string& device_name) const {
+    const VariantRecord& v = spcg();
+    if (!v.converged || !baseline.converged) return std::nullopt;
+    const double base =
+        baseline.device.at(device_name).end_to_end_s(baseline.iterations);
+    DeviceTimes t = v.device.at(device_name);
+    t.sparsify_s = spcg_sparsify_model_s;
+    const double mine = t.end_to_end_s(v.iterations);
+    return mine > 0.0 ? std::optional<double>(base / mine) : std::nullopt;
+  }
+
+  /// Per-iteration speedup of `v` over the baseline on `device_name`.
+  [[nodiscard]] double per_iteration_speedup(const VariantRecord& v,
+                                             const std::string& device_name) const;
+
+  /// End-to-end speedup (setup + iterations * per-iteration); returns
+  /// nullopt unless both this variant and the baseline converged.
+  [[nodiscard]] std::optional<double> end_to_end_speedup(
+      const VariantRecord& v, const std::string& device_name) const;
+};
+
+/// Experiment configuration (paper defaults).
+struct RunConfig {
+  PrecondKind kind = PrecondKind::kIlu0;
+  std::vector<double> ratios{1.0, 5.0, 10.0};  // ascending
+  double tau = 1.0;
+  double omega_percent = 10.0;
+  ConditionEstimator estimator = ConditionEstimator::kDiagonalProxy;
+  double tolerance = 1e-12;   // paper §4.3
+  std::int32_t max_iterations = 1000;
+  // The paper selects K from {10,20,30,40} on matrices with up to tens of
+  // millions of nonzeros. At this suite's scale (n ~ 10^3..10^4) those fill
+  // levels are effectively COMPLETE factorizations (baselines converge in
+  // 1-4 iterations), a regime the paper's dataset never enters. The scale-
+  // equivalent candidate set below lands ILU(K) in the same relative-
+  // accuracy regime as the paper's (inexact, fill-heavy, more wavefronts
+  // than ILU(0)). See DESIGN.md §3.
+  std::vector<index_t> k_candidates{1, 2, 3};
+  index_t max_row_fill = 256;  // ILU(K) safety cap (keeps scattered patterns tractable)
+  int value_bytes = 4;         // paper runs single precision on the device
+  bool use_cache = true;
+  int max_matrices = -1;       // <0: whole suite
+
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Devices every run is modeled on.
+const std::vector<DeviceSpec>& model_devices();
+
+/// Run (or load from cache) the suite-wide experiment.
+std::vector<MatrixRecord> run_suite(const RunConfig& config,
+                                    std::ostream* progress = nullptr);
+
+/// Compute the record for a single generated matrix (no cache) — used by
+/// focused benches and tests.
+MatrixRecord run_matrix(const GeneratedMatrix& g, const RunConfig& config);
+
+// --- aggregation helpers shared by the bench binaries ----------------------
+
+/// Geometric-mean + %accelerated over a set of speedups.
+struct SpeedupSummary {
+  double gmean = 0.0;
+  double pct_accelerated = 0.0;  // speedup > 1
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+SpeedupSummary summarize_speedups(const std::vector<double>& speedups);
+
+/// Honor SPCG_FAST=1 (smoke mode: ~20 matrices) when building a config.
+RunConfig apply_env_overrides(RunConfig config);
+
+/// Per-variant oracle: index of the ratio with the best per-iteration (or
+/// end-to-end) time on `device_name`; -1 when undefined.
+int oracle_per_iteration_choice(const MatrixRecord& r,
+                                const std::string& device_name);
+int oracle_end_to_end_choice(const MatrixRecord& r,
+                             const std::string& device_name);
+
+}  // namespace spcg::bench

@@ -1,0 +1,81 @@
+// Reproduces Figure 5: SPCG-ILU(K) speedups on A100.
+//   (a) per-iteration speedup distribution (paper: gmean 1.65x, 80.38%
+//       accelerated, baseline range 0.0007-2.709 GFLOP/s),
+//   (b) end-to-end speedup vs nnz (paper: gmean 3.73x, iterations
+//       ~unchanged for 91.61%).
+#include <iostream>
+
+#include "common/runner.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+using namespace spcg;
+using namespace spcg::bench;
+
+int main() {
+  RunConfig config = apply_env_overrides(RunConfig{});
+  config.kind = PrecondKind::kIluK;
+  const std::vector<MatrixRecord> records = run_suite(config, &std::cerr);
+  const std::string dev = "A100";
+
+  std::cout << "=== Figure 5a: SPCG-ILU(K) per-iteration speedup on " << dev
+            << " ===\n\n";
+  std::vector<double> per_iter, gflops;
+  for (const MatrixRecord& r : records) {
+    per_iter.push_back(r.per_iteration_speedup(r.spcg(), dev));
+    const double flops = pcg_iteration_flops(r.n, r.nnz, r.baseline.factor_nnz);
+    gflops.push_back(flops / r.baseline.device.at(dev).per_iteration_s * 1e-9);
+  }
+  const Histogram h = histogram(per_iter, 0.0, 5.0, 20, /*as_percent=*/true);
+  std::cout << render_histogram(h, "%") << "\n";
+  const SpeedupSummary s = summarize_speedups(per_iter);
+  std::cout << "matrices: " << s.count << "\n";
+  std::cout << "geometric-mean per-iteration speedup: " << fmt_speedup(s.gmean)
+            << "  (paper: 1.65x)\n";
+  std::cout << "% matrices accelerated: " << fmt_percent(s.pct_accelerated)
+            << "  (paper: 80.38%)\n";
+  std::cout << "baseline GFLOP/s range: "
+            << fmt(*std::min_element(gflops.begin(), gflops.end()), 4) << " - "
+            << fmt(*std::max_element(gflops.begin(), gflops.end()), 4)
+            << "  (paper: 0.0007 - 2.709)\n";
+  // Paper note: ILU(K) slowdowns stay close to 1.
+  double worst = 10.0;
+  for (const double v : per_iter) worst = std::min(worst, v);
+  std::cout << "worst per-iteration slowdown: " << fmt_speedup(worst)
+            << "  (paper: slowdowns remain close to 1)\n\n";
+
+  std::cout << "=== Figure 5b: SPCG-ILU(K) end-to-end speedup vs nnz on "
+            << dev << " ===\n\n";
+  TextTable t;
+  t.set_header({"matrix", "category", "nnz", "K", "e2e-speedup", "iters-base",
+                "iters-spcg", "ratio"});
+  std::vector<double> e2e;
+  int iters_same = 0, both_converged = 0;
+  for (const MatrixRecord& r : records) {
+    const auto sp = r.spcg_end_to_end_speedup(dev);
+    if (!sp) continue;
+    ++both_converged;
+    e2e.push_back(*sp);
+    const double rel_change =
+        std::abs(r.spcg().iterations - r.baseline.iterations) /
+        std::max(1.0, static_cast<double>(r.baseline.iterations));
+    if (rel_change <= 0.10) ++iters_same;
+    t.add_row({r.spec.name, r.spec.category, std::to_string(r.nnz),
+               std::to_string(r.chosen_k), fmt_speedup(*sp),
+               std::to_string(r.baseline.iterations),
+               std::to_string(r.spcg().iterations),
+               fmt(r.spcg().ratio_percent, 0) + "%"});
+  }
+  std::cout << t.render() << "\n";
+  const SpeedupSummary se = summarize_speedups(e2e);
+  std::cout << "converging matrices: " << both_converged << " / "
+            << records.size() << "\n";
+  std::cout << "geometric-mean end-to-end speedup: " << fmt_speedup(se.gmean)
+            << "  (paper: 3.73x)\n";
+  std::cout << "% with ~unchanged iteration count: "
+            << fmt_percent(both_converged
+                               ? static_cast<double>(iters_same) / both_converged
+                               : 0.0)
+            << "  (paper: 91.61%)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 8: per-iteration speedup distributions of SPCG on
+//   (a) V100, ILU(0)   (b) V100, ILU(K)   (c) AMD EPYC 7413 CPU, ILU(0).
+// Paper: CPU gmean 1.24x with 91.59% of matrices benefiting; on V100 most
+// values exceed 1 and degradations are negligible.
+#include <iostream>
+
+#include "common/runner.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+using namespace spcg;
+using namespace spcg::bench;
+
+namespace {
+
+void histogram_for(PrecondKind kind, const std::string& dev,
+                   const char* title, const char* paper_note) {
+  RunConfig config = apply_env_overrides(RunConfig{});
+  config.kind = kind;
+  const std::vector<MatrixRecord> records = run_suite(config, &std::cerr);
+  std::vector<double> sp;
+  for (const MatrixRecord& r : records)
+    sp.push_back(r.per_iteration_speedup(r.spcg(), dev));
+  std::cout << "=== " << title << " ===\n\n";
+  std::cout << render_histogram(histogram(sp, 0.0, 5.0, 20, true), "%")
+            << "\n";
+  const SpeedupSummary s = summarize_speedups(sp);
+  std::cout << "gmean: " << fmt_speedup(s.gmean)
+            << ", % accelerated: " << fmt_percent(s.pct_accelerated) << "  ("
+            << paper_note << ")\n\n";
+}
+
+}  // namespace
+
+int main() {
+  histogram_for(PrecondKind::kIlu0, "V100",
+                "Figure 8a: SPCG-ILU(0) per-iteration speedup on V100",
+                "paper: gmean 1.22x, 83.18% accelerated");
+  histogram_for(PrecondKind::kIluK, "V100",
+                "Figure 8b: SPCG-ILU(K) per-iteration speedup on V100",
+                "paper: gmean 1.71x, 82.25% accelerated");
+  histogram_for(PrecondKind::kIlu0, "EPYC-7413",
+                "Figure 8c: SPCG-ILU(0) per-iteration speedup on EPYC CPU",
+                "paper: gmean 1.24x, 91.59% accelerated");
+  std::cout << "paper shape: most speedups exceed 1 on every architecture; "
+               "wavefront-parallelism\nimprovements help CPUs as well as "
+               "GPUs.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Figure 9: gmean end-to-end speedup of SPCG-ILU(0) over PCG per
+// application category on A100. Paper: 16 of 17 categories show moderate or
+// strong improvement; economic, duplicate optimization and circuit
+// simulation stand out; CFD and graphics/vision gain less end-to-end than
+// per-iteration because convergence degrades.
+#include <iostream>
+#include <map>
+
+#include "common/runner.h"
+#include "support/table.h"
+
+using namespace spcg;
+using namespace spcg::bench;
+
+int main() {
+  RunConfig config = apply_env_overrides(RunConfig{});
+  config.kind = PrecondKind::kIlu0;
+  const std::vector<MatrixRecord> records = run_suite(config, &std::cerr);
+  const std::string dev = "A100";
+
+  std::map<std::string, std::vector<double>> e2e_by_cat, iter_by_cat;
+  for (const MatrixRecord& r : records) {
+    iter_by_cat[r.spec.category].push_back(
+        r.per_iteration_speedup(r.spcg(), dev));
+    if (const auto sp = r.spcg_end_to_end_speedup(dev))
+      e2e_by_cat[r.spec.category].push_back(*sp);
+  }
+
+  std::cout << "=== Figure 9: SPCG-ILU(0) gmean end-to-end speedup per "
+               "application category ("
+            << dev << ") ===\n\n";
+  TextTable t;
+  t.set_header({"category", "#conv", "gmean-e2e", "gmean-per-iter", "bar"});
+  for (const auto& [cat, values] : e2e_by_cat) {
+    const SpeedupSummary e = summarize_speedups(values);
+    const SpeedupSummary i = summarize_speedups(iter_by_cat[cat]);
+    const int bar = static_cast<int>(std::min(40.0, e.gmean * 8.0));
+    t.add_row({cat, std::to_string(values.size()), fmt_speedup(e.gmean),
+               fmt_speedup(i.gmean),
+               std::string(static_cast<std::size_t>(bar), '#')});
+  }
+  for (const auto& [cat, values] : iter_by_cat) {
+    if (!e2e_by_cat.count(cat)) {
+      t.add_row({cat, "0", "n/a (no converging pair)",
+                 fmt_speedup(summarize_speedups(values).gmean), ""});
+    }
+  }
+  std::cout << t.render() << "\n";
+  int improved = 0;
+  for (const auto& [cat, values] : e2e_by_cat)
+    if (summarize_speedups(values).gmean > 1.0) ++improved;
+  std::cout << "categories with gmean end-to-end speedup > 1: " << improved
+            << " / " << e2e_by_cat.size()
+            << "  (paper: 16 of 17 improve)\n";
+  std::cout << "\npaper shape: heavy-tailed categories (economic, circuit "
+               "simulation, duplicate\noptimization) gain most; CFD and "
+               "graphics/vision convert per-iteration gains\ninto smaller "
+               "end-to-end gains due to convergence dilution.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces the §3.2.3 heuristic-choice analysis:
+//   1. Ratio-space sweep {0.5, 1, 5, 10, 15, 20, 50}%. Paper: 0.5% yields
+//      <5% relative wavefront reduction for 86.92% of matrices (59.82% with
+//      no reduction at all); at 50%, 62.62% of matrices fail to converge or
+//      need at least 2x the iterations.
+//   2. Condition-number estimator ablation: the cheap diagonal proxy vs the
+//      Lanczos ("exact") estimator inside Algorithm 2 with (tau=1, omega=10%).
+//      Paper: gmean speedup 1.233 vs 1.235, convergence 52.34% vs 53.28%.
+#include <iostream>
+
+#include "common/runner.h"
+#include "core/sparsify.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+using namespace spcg;
+using namespace spcg::bench;
+
+int main() {
+  RunConfig config = apply_env_overrides(RunConfig{});
+  config.kind = PrecondKind::kIlu0;
+  config.ratios = {0.5, 1.0, 5.0, 10.0, 15.0, 20.0, 50.0};
+  const std::vector<MatrixRecord> records = run_suite(config, &std::cerr);
+  const std::string dev = "A100";
+
+  std::cout << "=== Section 3.2.3 (1): sparsification-ratio sweep, ILU(0) on "
+            << dev << " ===\n\n";
+  TextTable sweep;
+  sweep.set_header({"ratio", "gmean-per-iter", "%accel", "%conv",
+                    "%no-wf-reduction", "%wf-reduction<5%",
+                    "%diverge-or-2x-iters"});
+  for (std::size_t i = 0; i < config.ratios.size(); ++i) {
+    std::vector<double> sp;
+    int conv = 0, no_red = 0, small_red = 0, degraded = 0;
+    for (const MatrixRecord& r : records) {
+      const VariantRecord& v = r.ratios[i];
+      sp.push_back(r.per_iteration_speedup(v, dev));
+      if (v.converged) ++conv;
+      const double red =
+          r.wavefronts > 0
+              ? 100.0 * static_cast<double>(r.wavefronts - v.matrix_wavefronts) /
+                    static_cast<double>(r.wavefronts)
+              : 0.0;
+      if (v.matrix_wavefronts == r.wavefronts) ++no_red;
+      if (red < 5.0) ++small_red;
+      const bool diverged = !v.converged && r.baseline.converged;
+      const bool doubled =
+          r.baseline.converged && v.converged &&
+          v.iterations >= 2 * r.baseline.iterations;
+      if (diverged || doubled) ++degraded;
+    }
+    const double n = static_cast<double>(records.size());
+    const SpeedupSummary s = summarize_speedups(sp);
+    sweep.add_row({fmt(config.ratios[i], 1) + "%", fmt_speedup(s.gmean, 3),
+                   fmt_percent(s.pct_accelerated), fmt_percent(conv / n),
+                   fmt_percent(no_red / n), fmt_percent(small_red / n),
+                   fmt_percent(degraded / n)});
+  }
+  std::cout << sweep.render() << "\n";
+  std::cout << "paper: at 0.5%, 86.92% of matrices see <5% wavefront "
+               "reduction (59.82% none);\nat 50%, 62.62% fail to converge or "
+               "need >=2x iterations.\n\n";
+
+  // --- estimator ablation ---------------------------------------------------
+  std::cout << "=== Section 3.2.3 (2): approximate vs exact condition-number "
+               "estimator in Algorithm 2 ===\n\n";
+  SparsifyOptions base_opts;  // tau = 1, omega = 10%, ratios {10,5,1}
+  TextTable ab;
+  ab.set_header({"estimator", "gmean-per-iter", "%converged", "choice:10%",
+                 "choice:5%", "choice:1%"});
+  for (const auto& [name, estimator] :
+       {std::pair<const char*, ConditionEstimator>{
+            "diagonal proxy", ConditionEstimator::kDiagonalProxy},
+        {"Lanczos (exact)", ConditionEstimator::kLanczos}}) {
+    std::vector<double> sp;
+    int conv = 0;
+    int picked[3] = {0, 0, 0};  // 10, 5, 1
+    for (const MatrixRecord& r : records) {
+      const GeneratedMatrix g = generate_suite_matrix(r.spec.id);
+      SparsifyOptions opts = base_opts;
+      opts.estimator = estimator;
+      const SparsifyDecision<double> d = wavefront_aware_sparsify(g.a, opts);
+      // Map the chosen ratio onto this run's fixed-ratio records.
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < config.ratios.size(); ++i) {
+        if (config.ratios[i] == d.chosen.ratio_percent) idx = i;
+      }
+      if (d.chosen.ratio_percent == 10.0) ++picked[0];
+      if (d.chosen.ratio_percent == 5.0) ++picked[1];
+      if (d.chosen.ratio_percent == 1.0) ++picked[2];
+      const VariantRecord& v = r.ratios[idx];
+      sp.push_back(r.per_iteration_speedup(v, dev));
+      if (v.converged) ++conv;
+    }
+    const SpeedupSummary s = summarize_speedups(sp);
+    ab.add_row({name, fmt(s.gmean, 3),
+                fmt_percent(conv / static_cast<double>(records.size())),
+                std::to_string(picked[0]), std::to_string(picked[1]),
+                std::to_string(picked[2])});
+  }
+  std::cout << ab.render() << "\n";
+  std::cout << "paper: proxy 1.233 gmean / 52.34% convergence vs exact 1.235 "
+               "/ 53.28% — the\ncheap approximation guides sparsification "
+               "essentially as well as exact kappa.\n";
+  return 0;
+}

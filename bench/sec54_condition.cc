@@ -1,0 +1,81 @@
+// Reproduces the §5.4 condition-number analysis.
+//
+// The paper inspects matrices where sparsification IMPROVES convergence and
+// correlates that with Lanczos condition numbers of the sparsified matrices
+// at ratios 1/5/10% (ecology2: non-convergent -> 2 iterations, kappa 30->10;
+// thermal1: iterations fall 1000->531->127->71 as kappa creeps down;
+// Pres_Poisson: improves up to 5% then diverges at 10%).
+#include <algorithm>
+#include <iostream>
+
+#include "common/runner.h"
+#include "core/sparsify.h"
+#include "solver/lanczos.h"
+#include "support/table.h"
+
+using namespace spcg;
+using namespace spcg::bench;
+
+int main() {
+  RunConfig config = apply_env_overrides(RunConfig{});
+  config.kind = PrecondKind::kIlu0;
+  const std::vector<MatrixRecord> records = run_suite(config, &std::cerr);
+
+  // Count matrices where some sparsification level improves convergence
+  // (fewer iterations than the baseline, both meaningful).
+  int improved = 0;
+  std::vector<std::pair<double, const MatrixRecord*>> improvers;
+  for (const MatrixRecord& r : records) {
+    double best_gain = 1.0;  // baseline iterations / variant iterations
+    for (const VariantRecord& v : r.ratios) {
+      if (!v.converged) continue;
+      const double base_it = r.baseline.converged
+                                 ? static_cast<double>(r.baseline.iterations)
+                                 : 2000.0;  // non-convergent baseline
+      best_gain = std::max(best_gain, base_it / std::max(1, v.iterations));
+    }
+    if (best_gain > 1.0) {
+      ++improved;
+      improvers.emplace_back(best_gain, &r);
+    }
+  }
+  // Show the most dramatic improvements (the paper's ecology2-style cases).
+  std::sort(improvers.begin(), improvers.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::cout << "=== Section 5.4: condition-number analysis ===\n\n";
+  std::cout << "matrices where sparsification improves convergence: "
+            << improved << " / " << records.size()
+            << "  (paper: 24 of 107)\n\n";
+
+  // Detailed table for up to three representative improvers (the paper's
+  // ecology2 / thermal1 / Pres_Poisson roles) with Lanczos condition numbers.
+  TextTable t;
+  t.set_header({"matrix", "variant", "iterations", "converged",
+                "kappa (Lanczos)"});
+  int shown = 0;
+  for (const auto& [gain, r] : improvers) {
+    if (shown == 3) break;
+    ++shown;
+    const GeneratedMatrix g = generate_suite_matrix(r->spec.id);
+    const EigEstimate base_eig = lanczos_extreme_eigenvalues(g.a, 60);
+    t.add_row({r->spec.name, "baseline", std::to_string(r->baseline.iterations),
+               r->baseline.converged ? "yes" : "no",
+               fmt(base_eig.condition_number(), 3)});
+    for (std::size_t i = 0; i < r->ratios.size(); ++i) {
+      const SparsifySplit<double> split =
+          sparsify_by_ratio(g.a, config.ratios[i]);
+      const EigEstimate eig = lanczos_extreme_eigenvalues(split.a_hat, 60);
+      t.add_row({"", r->ratios[i].label,
+                 std::to_string(r->ratios[i].iterations),
+                 r->ratios[i].converged ? "yes" : "no",
+                 fmt(eig.condition_number(), 3)});
+    }
+  }
+  std::cout << t.render() << "\n";
+  std::cout
+      << "paper shape: when sparsification enhances convergence the "
+         "condition number of\nthe sparsified matrix drops with it; "
+         "excessive sparsification can remove\nstructurally critical entries "
+         "and break convergence (Pres_Poisson at 10%).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Table 1: per-iteration speedup statistics of SPCG over PCG on
+// A100 for fixed ratios 1/5/10%, the wavefront-aware SPCG choice, and the
+// Oracle (best of the three ratios per matrix).
+//
+// Paper values:
+//   (a) ILU(0): gmean 0.98 / 1.11 / 1.22 / 1.23 / 1.39,
+//       %acc 56.14 / 71.93 / 68.42 / 69.16 / 78.07
+//   (b) ILU(K): gmean 1.47 / 1.62 / 1.65 / 1.65 / 1.78,
+//       %acc 88.57 / 92.86 / 85.71 / 80.38 / 97.14
+#include <iostream>
+
+#include "common/runner.h"
+#include "support/table.h"
+
+using namespace spcg;
+using namespace spcg::bench;
+
+namespace {
+
+void run_table(PrecondKind kind, const char* title) {
+  RunConfig config = apply_env_overrides(RunConfig{});
+  config.kind = kind;
+  const std::vector<MatrixRecord> records = run_suite(config, &std::cerr);
+  const std::string dev = "A100";
+
+  std::cout << "=== Table 1" << title << " ===\n\n";
+  std::vector<std::vector<double>> fixed(config.ratios.size());
+  std::vector<double> spcg, oracle;
+  for (const MatrixRecord& r : records) {
+    for (std::size_t i = 0; i < r.ratios.size(); ++i)
+      fixed[i].push_back(r.per_iteration_speedup(r.ratios[i], dev));
+    spcg.push_back(r.per_iteration_speedup(r.spcg(), dev));
+    const int oc = oracle_per_iteration_choice(r, dev);
+    oracle.push_back(r.per_iteration_speedup(
+        r.ratios[static_cast<std::size_t>(oc)], dev));
+  }
+
+  TextTable t;
+  std::vector<std::string> header{"Statistic/Setting"};
+  std::vector<std::string> row_gmean{"Geometric Mean"};
+  std::vector<std::string> row_acc{"% Accelerated"};
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    header.push_back(fmt(config.ratios[i], 0) + "%");
+    const SpeedupSummary s = summarize_speedups(fixed[i]);
+    row_gmean.push_back(fmt_speedup(s.gmean));
+    row_acc.push_back(fmt_percent(s.pct_accelerated));
+  }
+  for (const auto& [name, v] :
+       {std::pair<const char*, const std::vector<double>&>{"SPCG", spcg},
+        {"Oracle", oracle}}) {
+    header.push_back(name);
+    const SpeedupSummary s = summarize_speedups(v);
+    row_gmean.push_back(fmt_speedup(s.gmean));
+    row_acc.push_back(fmt_percent(s.pct_accelerated));
+  }
+  t.set_header(header);
+  t.add_row(row_gmean);
+  t.add_row(row_acc);
+  std::cout << t.render() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  run_table(PrecondKind::kIlu0,
+            "a: per-iteration speedup statistics of SPCG-ILU(0), A100");
+  std::cout << "paper:  1%: 0.98x/56.14%  5%: 1.11x/71.93%  10%: 1.22x/68.42%"
+               "  SPCG: 1.23x/69.16%  Oracle: 1.39x/78.07%\n\n";
+  run_table(PrecondKind::kIluK,
+            "b: per-iteration speedup statistics of SPCG-ILU(K), A100");
+  std::cout << "paper:  1%: 1.47x/88.57%  5%: 1.62x/92.86%  10%: 1.65x/85.71%"
+               "  SPCG: 1.65x/80.38%  Oracle: 1.78x/97.14%\n";
+  std::cout << "\npaper shape: Oracle > SPCG ~ 10% > 5% > 1% in gmean; 5% "
+               "accelerates the\nwidest share of matrices even when 10% has "
+               "the higher mean.\n";
+  return 0;
+}

@@ -1,0 +1,277 @@
+// Wavefront-aware sparsification — the paper's primary contribution
+// (Section 3.2, Algorithm 2).
+//
+// Given a symmetric matrix A, split A = Â + S by removing the
+// smallest-magnitude off-diagonal entries (symmetric pairs together, the
+// diagonal never). Candidate drop ratios t ∈ {10, 5, 1}% are tried in
+// decreasing aggressiveness; a candidate is accepted when
+//   (1) the convergence indicator ‖Â⁻¹‖·‖S‖ stays below the threshold τ
+//       (Eq. 6, with the inexpensive condition-number proxy of §3.2.2), and
+//   (2) the wavefront reduction (Eq. 7) reaches the threshold ω — or t is the
+//       most conservative ratio.
+// If no ratio passes the convergence check, the most aggressive ratio is
+// returned anyway (Algorithm 2, line 6): with no safe level, the paper
+// prioritizes per-iteration speedup.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/lanczos.h"
+#include "sparse/csr.h"
+#include "sparse/norms.h"
+#include "sparse/ops.h"
+#include "wavefront/levels.h"
+
+namespace spcg {
+
+/// A = a_hat + s decomposition produced by one sparsification ratio.
+template <class T>
+struct SparsifySplit {
+  Csr<T> a_hat;            // sparsified matrix Â
+  Csr<T> s;                // residual matrix S (the dropped entries)
+  double ratio_percent = 0.0;  // requested t
+  index_t dropped = 0;     // entries actually removed (= nnz(S))
+};
+
+/// Magnitude-based symmetric sparsification at ratio `t_percent`:
+/// removes the smallest-|value| off-diagonal entries, in symmetric pairs,
+/// without exceeding round(t/100 * nnz(A)) removals. Diagonal entries are
+/// always preserved (§3.2.2). Ties break deterministically by (|v|, i, j).
+template <class T>
+SparsifySplit<T> sparsify_by_ratio(const Csr<T>& a, double t_percent) {
+  SPCG_CHECK(a.rows == a.cols);
+  SPCG_CHECK(t_percent >= 0.0 && t_percent < 100.0);
+
+  struct Candidate {
+    T magnitude;
+    index_t row, col;  // upper-triangle representative (row < col)
+  };
+  std::vector<Candidate> candidates;
+  for (index_t i = 0; i < a.rows; ++i) {
+    const auto cols_i = a.row_cols(i);
+    const auto vals_i = a.row_vals(i);
+    for (std::size_t p = 0; p < cols_i.size(); ++p) {
+      if (cols_i[p] > i)
+        candidates.push_back({std::abs(vals_i[p]), i, cols_i[p]});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.magnitude != y.magnitude) return x.magnitude < y.magnitude;
+              if (x.row != y.row) return x.row < y.row;
+              return x.col < y.col;
+            });
+
+  const auto target = static_cast<index_t>(
+      std::llround(t_percent / 100.0 * static_cast<double>(a.nnz())));
+
+  // Mark positions to drop, walking candidates smallest-first. Each pair
+  // (i,j)/(j,i) is dropped together; an unpaired entry (structurally
+  // unsymmetric input) counts as one.
+  std::vector<char> drop(static_cast<std::size_t>(a.nnz()), 0);
+  index_t dropped = 0;
+  for (const Candidate& c : candidates) {
+    const index_t p_upper = a.find(c.row, c.col);
+    const index_t p_lower = a.find(c.col, c.row);
+    const index_t cost = (p_lower >= 0) ? 2 : 1;
+    if (dropped + cost > target) break;
+    drop[static_cast<std::size_t>(p_upper)] = 1;
+    if (p_lower >= 0) drop[static_cast<std::size_t>(p_lower)] = 1;
+    dropped += cost;
+  }
+
+  SparsifySplit<T> out;
+  out.ratio_percent = t_percent;
+  out.dropped = dropped;
+  out.a_hat = Csr<T>(a.rows, a.cols);
+  out.s = Csr<T>(a.rows, a.cols);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.rowptr[static_cast<std::size_t>(i)];
+         p < a.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      Csr<T>& dst = drop[static_cast<std::size_t>(p)] ? out.s : out.a_hat;
+      dst.colind.push_back(a.colind[static_cast<std::size_t>(p)]);
+      dst.values.push_back(a.values[static_cast<std::size_t>(p)]);
+    }
+    out.a_hat.rowptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<index_t>(out.a_hat.colind.size());
+    out.s.rowptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<index_t>(out.s.colind.size());
+  }
+  return out;
+}
+
+/// The convergence-safety indicator of Algorithm 2 (lines 4–5).
+struct ConvergenceIndicator {
+  double inv_norm = 0.0;  // estimate of ‖Â⁻¹‖
+  double s_norm = 0.0;    // ‖S‖_inf
+  double product = 0.0;   // the quantity compared against τ
+};
+
+enum class ConditionEstimator {
+  /// Paper's proxy: κ(Â) ≈ ‖Â‖_inf / min_i â_ii, ‖Â‖₂ ≈ ‖Â‖_inf,
+  /// so ‖Â⁻¹‖ ≈ κ(Â)/‖Â‖₂.
+  kDiagonalProxy,
+  /// Ablation (§3.2.3): Lanczos extreme eigenvalues, ‖Â⁻¹‖ = 1/λ_min.
+  kLanczos,
+};
+
+template <class T>
+ConvergenceIndicator convergence_indicator(
+    const Csr<T>& a_hat, const Csr<T>& s,
+    ConditionEstimator estimator = ConditionEstimator::kDiagonalProxy,
+    int lanczos_steps = 60) {
+  ConvergenceIndicator ind;
+  ind.s_norm = static_cast<double>(norm_inf(s));
+  if (estimator == ConditionEstimator::kDiagonalProxy) {
+    double min_diag = std::numeric_limits<double>::infinity();
+    for (index_t i = 0; i < a_hat.rows; ++i)
+      min_diag = std::min(min_diag, static_cast<double>(a_hat.at(i, i)));
+    const double a_inf = static_cast<double>(norm_inf(a_hat));
+    if (!(min_diag > 0.0) || a_inf == 0.0) {
+      ind.inv_norm = std::numeric_limits<double>::infinity();
+    } else {
+      const double kappa = a_inf / min_diag;  // condition-number proxy
+      ind.inv_norm = kappa / a_inf;           // ‖Â⁻¹‖ ≈ κ/‖Â‖₂, ‖Â‖₂≈‖Â‖_inf
+    }
+  } else {
+    const EigEstimate eig = lanczos_extreme_eigenvalues(a_hat, lanczos_steps);
+    ind.inv_norm = eig.lambda_min > 0.0
+                       ? 1.0 / eig.lambda_min
+                       : std::numeric_limits<double>::infinity();
+  }
+  ind.product = ind.inv_norm * ind.s_norm;
+  return ind;
+}
+
+/// Denominator convention for the wavefront-reduction test. The paper's
+/// Eq. 7 normalizes by w_A while Algorithm 2 line 10 writes w_Â; Eq. 7 is
+/// what the analysis sections use, so it is the default here.
+enum class WavefrontDenominator { kOriginal /*Eq. 7*/, kSparsified /*Alg. 2*/ };
+
+/// Tunable knobs of Algorithm 2 (paper defaults: τ=1, ω=10%, t∈{10,5,1}).
+struct SparsifyOptions {
+  std::vector<double> ratios{10.0, 5.0, 1.0};  // tried in this order
+  double tau = 1.0;
+  double omega_percent = 10.0;
+  ConditionEstimator estimator = ConditionEstimator::kDiagonalProxy;
+  WavefrontDenominator denominator = WavefrontDenominator::kOriginal;
+  int lanczos_steps = 60;
+};
+
+/// Why Algorithm 2 stopped where it did.
+enum class SparsifyOutcome {
+  kWavefrontAccepted,      // convergence ok and reduction >= ω
+  kSmallestRatioFallback,  // all safe ratios lacked reduction -> smallest t
+  kUnsafeFallback,         // even smallest t unsafe -> most aggressive t
+};
+
+/// Per-ratio diagnostics recorded while Algorithm 2 runs.
+struct SparsifyStep {
+  double ratio_percent = 0.0;
+  index_t dropped = 0;
+  ConvergenceIndicator indicator;
+  bool convergence_ok = false;
+  index_t wavefronts = 0;          // w_Ât (only computed when convergence_ok)
+  double reduction_percent = 0.0;  // per the configured denominator
+  bool wavefront_ok = false;
+};
+
+/// Full result of wavefront-aware sparsification.
+template <class T>
+struct SparsifyDecision {
+  SparsifySplit<T> chosen;
+  SparsifyOutcome outcome = SparsifyOutcome::kWavefrontAccepted;
+  index_t wavefronts_original = 0;
+  index_t wavefronts_chosen = 0;
+  double reduction_percent = 0.0;  // Eq. 7 value for the chosen matrix
+  std::vector<SparsifyStep> steps;
+};
+
+/// Algorithm 2: wavefront-aware sparsification.
+template <class T>
+SparsifyDecision<T> wavefront_aware_sparsify(const Csr<T>& a,
+                                             const SparsifyOptions& opt = {}) {
+  SPCG_CHECK_MSG(!opt.ratios.empty(), "need at least one ratio");
+  SparsifyDecision<T> out;
+  out.wavefronts_original = count_wavefronts(a);  // line 1: w_A
+
+  auto finalize = [&](SparsifySplit<T> split, SparsifyOutcome outcome,
+                      index_t wavefronts) {
+    out.outcome = outcome;
+    out.wavefronts_chosen =
+        wavefronts >= 0 ? wavefronts : count_wavefronts(split.a_hat);
+    out.reduction_percent = wavefront_reduction_percent(
+        out.wavefronts_original, out.wavefronts_chosen);
+    out.chosen = std::move(split);
+    return out;
+  };
+
+  for (std::size_t idx = 0; idx < opt.ratios.size(); ++idx) {
+    const double t = opt.ratios[idx];
+    const bool last = (idx + 1 == opt.ratios.size());
+
+    SparsifyStep step;
+    step.ratio_percent = t;
+    SparsifySplit<T> split = sparsify_by_ratio(a, t);  // line 3
+    step.dropped = split.dropped;
+
+    // Lines 4–8: convergence indicator against τ.
+    step.indicator = convergence_indicator(split.a_hat, split.s,
+                                           opt.estimator, opt.lanczos_steps);
+    step.convergence_ok = !(step.indicator.product > opt.tau);
+    if (!step.convergence_ok) {
+      out.steps.push_back(step);
+      if (last) {
+        // Line 6: even the smallest ratio is unsafe; fall back to the most
+        // aggressive ratio to maximize per-iteration speedup.
+        return finalize(sparsify_by_ratio(a, opt.ratios.front()),
+                        SparsifyOutcome::kUnsafeFallback, -1);
+      }
+      continue;  // line 7
+    }
+
+    // Lines 9–12: wavefront-reduction effectiveness.
+    step.wavefronts = count_wavefronts(split.a_hat);
+    const index_t denom =
+        opt.denominator == WavefrontDenominator::kOriginal
+            ? out.wavefronts_original
+            : step.wavefronts;
+    step.reduction_percent =
+        denom > 0 ? 100.0 *
+                        static_cast<double>(out.wavefronts_original -
+                                            step.wavefronts) /
+                        static_cast<double>(denom)
+                  : 0.0;
+    step.wavefront_ok = step.reduction_percent >= opt.omega_percent;
+    out.steps.push_back(step);
+
+    if (step.wavefront_ok || last) {
+      // Accepted (line 11), or the smallest ratio acting as the
+      // minimal-error fallback (§3.2.2 closing paragraph).
+      return finalize(std::move(split),
+                      step.wavefront_ok
+                          ? SparsifyOutcome::kWavefrontAccepted
+                          : SparsifyOutcome::kSmallestRatioFallback,
+                      step.wavefronts);
+    }
+  }
+  // Unreachable: the loop always returns on the last ratio; kept for safety.
+  return finalize(sparsify_by_ratio(a, opt.ratios.front()),
+                  SparsifyOutcome::kUnsafeFallback, -1);
+}
+
+/// Human-readable outcome label (used by reports and benches).
+inline const char* to_string(SparsifyOutcome o) {
+  switch (o) {
+    case SparsifyOutcome::kWavefrontAccepted: return "wavefront-accepted";
+    case SparsifyOutcome::kSmallestRatioFallback: return "smallest-ratio";
+    case SparsifyOutcome::kUnsafeFallback: return "unsafe-fallback";
+  }
+  return "unknown";
+}
+
+}  // namespace spcg

@@ -1,0 +1,161 @@
+// SPCG driver — the end-to-end pipeline of Figure 2:
+//
+//   A ──► wavefront-aware sparsification ──► Â ──► ILU(0)/ILU(K) ──► M={L,U}
+//   (A, b, M) ──► PCG (Algorithm 1) ──► x
+//
+// Note the preconditioner is built from the *sparsified* matrix while PCG
+// iterates on the *original* system A x = b, exactly as in the paper's
+// overview. Setting SpcgOptions::sparsify_enabled=false gives the
+// non-sparsified PCG baseline with the same plumbing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sparsify.h"
+#include "precond/ilu.h"
+#include "precond/preconditioner.h"
+#include "solver/pcg.h"
+#include "support/timer.h"
+
+namespace spcg {
+
+enum class PrecondKind { kIlu0, kIluK };
+
+inline const char* to_string(PrecondKind k) {
+  return k == PrecondKind::kIlu0 ? "ILU(0)" : "ILU(K)";
+}
+
+/// Configuration of a full SPCG (or baseline PCG) run.
+struct SpcgOptions {
+  bool sparsify_enabled = true;       // false -> plain PCG baseline
+  SparsifyOptions sparsify;           // Algorithm 2 thresholds
+  PrecondKind preconditioner = PrecondKind::kIlu0;
+  index_t fill_level = 10;            // K for ILU(K)
+  index_t max_row_fill = 0;           // safety cap for ILU(K) symbolic
+  IluOptions ilu;                     // pivot handling
+  TrsvExec executor = TrsvExec::kSerial;
+  PcgOptions pcg;                     // tolerance / max iterations
+};
+
+/// Structural and timing instrumentation of one run; everything the
+/// benchmark harness needs to model device time afterwards.
+template <class T>
+struct SpcgResult {
+  SolveResult<T> solve;
+
+  // Sparsification (empty optional for the baseline).
+  std::optional<SparsifyDecision<T>> decision;
+
+  // Preconditioner structure.
+  IluResult<T> factorization;    // combined LU on Â (or A for baseline)
+  index_t factor_nnz = 0;
+  index_t wavefronts_factor = 0;   // level count of the factor's L pattern
+  index_t matrix_wavefronts = 0;   // level count of the (possibly
+                                   // sparsified) input pattern
+  // Host wall-clock phases (seconds).
+  double sparsify_seconds = 0.0;
+  double factorization_seconds = 0.0;
+  double solve_seconds = 0.0;
+
+  [[nodiscard]] double end_to_end_seconds() const {
+    return sparsify_seconds + factorization_seconds + solve_seconds;
+  }
+};
+
+/// Run the full SPCG pipeline on A x = b.
+template <class T>
+SpcgResult<T> spcg_solve(const Csr<T>& a, std::span<const T> b,
+                         const SpcgOptions& opt = {}) {
+  SPCG_CHECK(a.rows == a.cols);
+  SpcgResult<T> res;
+
+  // Phase 1: wavefront-aware sparsification (Algorithm 2).
+  const Csr<T>* precond_input = &a;
+  WallTimer timer;
+  if (opt.sparsify_enabled) {
+    res.decision = wavefront_aware_sparsify(a, opt.sparsify);
+    precond_input = &res.decision->chosen.a_hat;
+  }
+  res.sparsify_seconds = timer.seconds();
+  res.matrix_wavefronts = opt.sparsify_enabled
+                              ? res.decision->wavefronts_chosen
+                              : count_wavefronts(a);
+
+  // Phase 2: incomplete factorization of the (sparsified) matrix.
+  timer.reset();
+  res.factorization =
+      opt.preconditioner == PrecondKind::kIlu0
+          ? ilu0(*precond_input, opt.ilu)
+          : iluk(*precond_input, opt.fill_level, opt.ilu, opt.max_row_fill);
+  res.factorization_seconds = timer.seconds();
+  res.factor_nnz = res.factorization.lu.nnz();
+  res.wavefronts_factor =
+      level_schedule(res.factorization.lu, Triangle::kLower).num_levels();
+
+  // Phase 3: PCG on the ORIGINAL system with the sparsified preconditioner.
+  timer.reset();
+  IluPreconditioner<T> m(res.factorization, opt.executor);
+  res.solve = pcg(a, b, m, opt.pcg);
+  res.solve_seconds = timer.seconds();
+  return res;
+}
+
+/// Vector-argument convenience.
+template <class T>
+SpcgResult<T> spcg_solve(const Csr<T>& a, const std::vector<T>& b,
+                         const SpcgOptions& opt = {}) {
+  return spcg_solve(a, std::span<const T>(b), opt);
+}
+
+/// Select the best-converging K ∈ `candidates` for the *baseline* PCG-ILU(K)
+/// on matrix A (paper §3.3: "we select the best converging K ... for the
+/// non-sparsified PCG-ILU(K). We then use this value to measure the effect of
+/// sparsification"). Best = fewest iterations among converging runs, ties to
+/// the smaller K; when nothing converges, the K with the smallest final
+/// residual.
+template <class T>
+struct KSelection {
+  index_t k = 0;
+  SpcgResult<T> baseline;  // the run that won
+};
+
+template <class T>
+KSelection<T> select_best_fill_level(const Csr<T>& a, std::span<const T> b,
+                                     SpcgOptions opt,
+                                     std::span<const index_t> candidates) {
+  SPCG_CHECK(!candidates.empty());
+  opt.sparsify_enabled = false;
+  opt.preconditioner = PrecondKind::kIluK;
+
+  std::optional<KSelection<T>> best;
+  for (const index_t k : candidates) {
+    opt.fill_level = k;
+    SpcgResult<T> run = spcg_solve(a, b, opt);
+    const bool better = [&] {
+      if (!best) return true;
+      const bool run_conv = run.solve.converged();
+      const bool best_conv = best->baseline.solve.converged();
+      if (run_conv != best_conv) return run_conv;
+      if (run_conv)
+        return run.solve.iterations < best->baseline.solve.iterations;
+      return run.solve.final_residual_norm <
+             best->baseline.solve.final_residual_norm;
+    }();
+    if (better) best = KSelection<T>{k, std::move(run)};
+  }
+  return std::move(*best);
+}
+
+template <class T>
+KSelection<T> select_best_fill_level(const Csr<T>& a, const std::vector<T>& b,
+                                     const SpcgOptions& opt,
+                                     const std::vector<index_t>& candidates) {
+  return select_best_fill_level(a, std::span<const T>(b), opt,
+                                std::span<const index_t>(candidates));
+}
+
+}  // namespace spcg

@@ -1,0 +1,32 @@
+#include "core/spcg_report.h"
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace spcg {
+
+std::string render_run_summary(const RunSummary& s) {
+  std::ostringstream os;
+  os << "=== " << s.label << " (" << s.preconditioner << ") ===\n";
+  if (s.sparsified) {
+    os << "  sparsification : ratio " << fmt(s.ratio_percent, 1) << "% ("
+       << s.outcome << "), wavefront reduction "
+       << fmt(s.wavefront_reduction_percent, 2) << "%\n";
+  } else {
+    os << "  sparsification : disabled (baseline PCG)\n";
+  }
+  os << "  matrix nnz     : " << s.matrix_nnz << " (factor nnz "
+     << s.factor_nnz << ")\n";
+  os << "  wavefronts     : matrix " << s.wavefronts_matrix << ", factor "
+     << s.wavefronts_factor << "\n";
+  os << "  solve          : " << s.iterations << " iterations, "
+     << (s.converged ? "converged" : "NOT converged") << ", final residual "
+     << s.final_residual << "\n";
+  os << "  host time      : sparsify " << fmt(s.sparsify_seconds * 1e3, 3)
+     << " ms, factorize " << fmt(s.factorization_seconds * 1e3, 3)
+     << " ms, solve " << fmt(s.solve_seconds * 1e3, 3) << " ms\n";
+  return os.str();
+}
+
+}  // namespace spcg

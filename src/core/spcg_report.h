@@ -1,0 +1,59 @@
+// Human-readable reporting of SPCG runs (used by examples and benches).
+#pragma once
+
+#include <string>
+
+#include "core/spcg.h"
+
+namespace spcg {
+
+/// Flattened, type-erased view of one run for printing.
+struct RunSummary {
+  std::string label;
+  std::string preconditioner;  // "ILU(0)" / "ILU(K)"
+  bool sparsified = false;
+  double ratio_percent = 0.0;      // chosen ratio (0 when not sparsified)
+  std::string outcome;             // Algorithm 2 outcome
+  long matrix_nnz = 0;
+  long factor_nnz = 0;
+  long wavefronts_matrix = 0;
+  long wavefronts_factor = 0;
+  double wavefront_reduction_percent = 0.0;
+  long iterations = 0;
+  bool converged = false;
+  double final_residual = 0.0;
+  double sparsify_seconds = 0.0;
+  double factorization_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+/// Render a run summary as an aligned block of text.
+std::string render_run_summary(const RunSummary& s);
+
+/// Build a RunSummary from a typed result.
+template <class T>
+RunSummary summarize(const std::string& label, const Csr<T>& a,
+                     const SpcgResult<T>& r, PrecondKind kind) {
+  RunSummary s;
+  s.label = label;
+  s.preconditioner = to_string(kind);
+  s.sparsified = r.decision.has_value();
+  if (r.decision) {
+    s.ratio_percent = r.decision->chosen.ratio_percent;
+    s.outcome = to_string(r.decision->outcome);
+    s.wavefront_reduction_percent = r.decision->reduction_percent;
+  }
+  s.matrix_nnz = a.nnz();
+  s.factor_nnz = r.factor_nnz;
+  s.wavefronts_matrix = r.matrix_wavefronts;
+  s.wavefronts_factor = r.wavefronts_factor;
+  s.iterations = r.solve.iterations;
+  s.converged = r.solve.converged();
+  s.final_residual = r.solve.final_residual_norm;
+  s.sparsify_seconds = r.sparsify_seconds;
+  s.factorization_seconds = r.factorization_seconds;
+  s.solve_seconds = r.solve_seconds;
+  return s;
+}
+
+}  // namespace spcg

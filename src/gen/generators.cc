@@ -1,0 +1,777 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "sparse/norms.h"
+#include "sparse/ops.h"
+#include "support/error.h"
+
+namespace spcg {
+namespace {
+
+using T3 = Triplet<double>;
+
+/// Symmetrize triplets: for every (i,j,v) with i != j also emit (j,i,v).
+/// Generators below only emit one side of each coupling.
+void mirror_offdiag(std::vector<T3>& ts) {
+  const std::size_t n = ts.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (ts[k].row != ts[k].col)
+      ts.push_back({ts[k].col, ts[k].row, ts[k].value});
+  }
+}
+
+/// Replace each diagonal with (1 + margin) * sum of |off-diagonals| in its
+/// row plus `shift`, guaranteeing strict diagonal dominance (hence SPD for a
+/// symmetric matrix).
+Csr<double> dominant_from_triplets(index_t n, std::vector<T3> ts,
+                                   double margin, double shift) {
+  std::vector<double> row_abs(static_cast<std::size_t>(n), 0.0);
+  for (const T3& t : ts) {
+    SPCG_CHECK(t.row != t.col);  // diagonals are added here, not by callers
+    row_abs[static_cast<std::size_t>(t.row)] += std::abs(t.value);
+  }
+  for (index_t i = 0; i < n; ++i) {
+    ts.push_back(
+        {i, i, (1.0 + margin) * row_abs[static_cast<std::size_t>(i)] + shift});
+  }
+  return csr_from_triplets(n, n, std::move(ts));
+}
+
+/// Smooth random field on the unit square/cube: a sum of a few random
+/// low-frequency cosine modes. Values are O(1) and spatially correlated with
+/// patch sizes of a fraction of the domain — the mechanism that gives real
+/// matrices their *regionally* weak couplings (coefficient jumps, grain
+/// boundaries, boundary layers). Spatial correlation is what lets magnitude
+/// sparsification cut dependence chains: iid weak entries can be routed
+/// around, weak regions cannot.
+class SmoothField {
+ public:
+  SmoothField(Rng& rng, int modes = 5) {
+    constexpr double kTwoPi = 6.283185307179586;
+    for (int m = 0; m < modes; ++m) {
+      Mode mode;
+      // Wavelengths between ~1/1 and ~1/4 of the domain.
+      mode.kx = kTwoPi * (1.0 + 3.0 * rng.uniform());
+      mode.ky = kTwoPi * (1.0 + 3.0 * rng.uniform());
+      mode.kz = kTwoPi * (1.0 + 3.0 * rng.uniform());
+      mode.phase = kTwoPi * rng.uniform();
+      mode.amp = 0.5 + rng.uniform();
+      modes_.push_back(mode);
+      norm_ += mode.amp;
+    }
+  }
+
+  /// Field value in roughly [-1, 1].
+  [[nodiscard]] double at(double x, double y, double z = 0.0) const {
+    double acc = 0.0;
+    for (const Mode& m : modes_) {
+      acc += m.amp * std::cos(m.kx * x + m.ky * y + m.kz * z + m.phase);
+    }
+    return acc / norm_;
+  }
+
+ private:
+  struct Mode {
+    double kx, ky, kz, phase, amp;
+  };
+  std::vector<Mode> modes_;
+  double norm_ = 0.0;
+};
+
+}  // namespace
+
+Csr<double> gen_poisson2d(index_t nx, index_t ny) {
+  SPCG_CHECK(nx > 0 && ny > 0);
+  const index_t n = nx * ny;
+  std::vector<T3> ts;
+  ts.reserve(static_cast<std::size_t>(n) * 5);
+  auto id = [&](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = id(x, y);
+      ts.push_back({i, i, 4.0});
+      if (x > 0) ts.push_back({i, id(x - 1, y), -1.0});
+      if (x + 1 < nx) ts.push_back({i, id(x + 1, y), -1.0});
+      if (y > 0) ts.push_back({i, id(x, y - 1), -1.0});
+      if (y + 1 < ny) ts.push_back({i, id(x, y + 1), -1.0});
+    }
+  }
+  return csr_from_triplets(n, n, std::move(ts));
+}
+
+Csr<double> gen_poisson3d(index_t nx, index_t ny, index_t nz) {
+  SPCG_CHECK(nx > 0 && ny > 0 && nz > 0);
+  const index_t n = nx * ny * nz;
+  std::vector<T3> ts;
+  ts.reserve(static_cast<std::size_t>(n) * 7);
+  auto id = [&](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t i = id(x, y, z);
+        ts.push_back({i, i, 6.0});
+        if (x > 0) ts.push_back({i, id(x - 1, y, z), -1.0});
+        if (x + 1 < nx) ts.push_back({i, id(x + 1, y, z), -1.0});
+        if (y > 0) ts.push_back({i, id(x, y - 1, z), -1.0});
+        if (y + 1 < ny) ts.push_back({i, id(x, y + 1, z), -1.0});
+        if (z > 0) ts.push_back({i, id(x, y, z - 1), -1.0});
+        if (z + 1 < nz) ts.push_back({i, id(x, y, z + 1), -1.0});
+      }
+    }
+  }
+  return csr_from_triplets(n, n, std::move(ts));
+}
+
+Csr<double> gen_anisotropic2d(index_t nx, index_t ny, double eps,
+                              std::uint64_t seed) {
+  SPCG_CHECK(nx > 0 && ny > 0 && eps > 0.0);
+  const index_t n = nx * ny;
+  std::vector<T3> ts;
+  auto id = [&](index_t x, index_t y) { return y * nx + x; };
+  // With seed == 0: the classic uniform operator -eps*u_xx - u_yy.
+  // With seed != 0: a stretched-mesh/boundary-layer discretization where the
+  // *vertical* coupling weakens to eps inside smooth horizontal bands (flow
+  // aligned with x there). A weak band spans the whole width, so the weak
+  // vertical couplings carry the dependence depth across it.
+  Rng rng(seed);
+  std::optional<SmoothField> field;
+  if (seed != 0) field.emplace(rng);
+  auto eps_y = [&](index_t y) {
+    if (!field) return 1.0;
+    const double t =
+        0.5 * (1.0 + field->at(0.0, static_cast<double>(y) / ny));
+    return std::pow(eps, 2.5 * std::max(0.0, t - 0.45));  // 1 .. eps^~1.4
+  };
+  auto eps_x = [&](index_t) { return field ? 1.0 : eps; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = id(x, y);
+      const double ex = eps_x(x);
+      const double ey_down = y > 0 ? eps_y(y) : 0.0;
+      const double ey_up = y + 1 < ny ? eps_y(y + 1) : 0.0;
+      const double diag = (x > 0 ? ex : 0.0) + (x + 1 < nx ? ex : 0.0) +
+                          ey_down + ey_up;
+      ts.push_back({i, i, diag + 0.05});
+      if (x > 0) ts.push_back({i, id(x - 1, y), -ex});
+      if (x + 1 < nx) ts.push_back({i, id(x + 1, y), -ex});
+      if (y > 0) ts.push_back({i, id(x, y - 1), -ey_down});
+      if (y + 1 < ny) ts.push_back({i, id(x, y + 1), -ey_up});
+    }
+  }
+  return csr_from_triplets(n, n, std::move(ts));
+}
+
+Csr<double> gen_varcoef2d(index_t nx, index_t ny, double contrast,
+                          std::uint64_t seed) {
+  SPCG_CHECK(nx > 0 && ny > 0);
+  Rng rng(seed);
+  const index_t n = nx * ny;
+  // Cell-centered two-phase coefficient field: a smooth random field,
+  // saturated through tanh, yields contiguous high- and low-conductivity
+  // phases separated by `contrast` decades (layered/composite media). The
+  // bimodal distribution is what makes the bottom decile of couplings
+  // orders of magnitude below the rest — dropping it barely perturbs the
+  // preconditioner. Mild iid noise keeps magnitudes distinct.
+  const SmoothField field(rng);
+  constexpr double kLn10 = 2.302585092994046;
+  std::vector<double> coef(static_cast<std::size_t>(n));
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const double smooth = field.at(static_cast<double>(x) / nx,
+                                     static_cast<double>(y) / ny);
+      coef[static_cast<std::size_t>(y * nx + x)] =
+          std::exp(contrast * kLn10 * std::tanh(3.0 * smooth) +
+                   0.1 * rng.normal());
+    }
+  }
+  // Insulating interfaces: ~7% of the horizontal mesh lines model contact
+  // resistance between material layers; fluxes crossing them are three
+  // orders of magnitude weaker. An interface spans the full width, so
+  // dropping its couplings shortens the dependence depth, while the
+  // diagonal reaction floor keeps the drop numerically harmless.
+  std::vector<char> interface_row(static_cast<std::size_t>(ny), 0);
+  for (index_t y = 1; y + 1 < ny; ++y)
+    interface_row[static_cast<std::size_t>(y)] = rng.uniform() < 0.07;
+  auto id = [&](index_t x, index_t y) { return y * nx + x; };
+  auto edge = [&](index_t a, index_t b) {
+    // Harmonic mean of the two cell coefficients (standard FV discretization).
+    const double ca = coef[static_cast<std::size_t>(a)];
+    const double cb = coef[static_cast<std::size_t>(b)];
+    return 2.0 * ca * cb / (ca + cb);
+  };
+  std::vector<T3> ts;
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = id(x, y);
+      if (x + 1 < nx) ts.push_back({i, id(x + 1, y), -edge(i, id(x + 1, y))});
+      if (y + 1 < ny) {
+        // Contact resistance is ~5 decades: an interface crossing even the
+        // strong phase must rank below every weak-phase interior coupling,
+        // or the drop budget is spent on (depth-irrelevant) interiors first.
+        const double contact =
+            interface_row[static_cast<std::size_t>(y + 1)] ? 1e-5 : 1.0;
+        ts.push_back({i, id(x, y + 1), -contact * edge(i, id(x, y + 1))});
+      }
+    }
+  }
+  mirror_offdiag(ts);
+  // Reaction/boundary term: a constant diagonal floor (heat loss to the
+  // environment). It keeps weak-phase rows diagonally anchored, so removing
+  // their tiny couplings is genuinely harmless to the preconditioner.
+  return dominant_from_triplets(n, std::move(ts), 0.0, 5e-2);
+}
+
+Csr<double> gen_elasticity2d(index_t nx, index_t ny, double young, double nu,
+                             std::uint64_t seed, double contrast) {
+  SPCG_CHECK(nx > 0 && ny > 0 && young > 0.0 && nu > 0.0 && nu < 0.5);
+  SPCG_CHECK(contrast >= 0.0);
+  // Plane strain constitutive matrix D (3x3).
+  const double f = young / ((1.0 + nu) * (1.0 - 2.0 * nu));
+  const double d00 = f * (1.0 - nu);
+  const double d01 = f * nu;
+  const double d22 = f * (1.0 - 2.0 * nu) / 2.0;
+
+  // Q1 element stiffness via 2x2 Gauss quadrature on a unit square element.
+  std::array<std::array<double, 8>, 8> ke{};
+  const double g = 1.0 / std::sqrt(3.0);
+  const std::array<double, 2> pts{-g, g};
+  for (const double xi : pts) {
+    for (const double eta : pts) {
+      // Shape function derivatives on the reference square [-1,1]^2; the
+      // element is the unit square so the Jacobian is diag(1/2, 1/2).
+      const std::array<double, 4> dn_dxi{
+          -(1 - eta) / 4, (1 - eta) / 4, (1 + eta) / 4, -(1 + eta) / 4};
+      const std::array<double, 4> dn_deta{
+          -(1 - xi) / 4, -(1 + xi) / 4, (1 + xi) / 4, (1 - xi) / 4};
+      std::array<double, 4> dn_dx{}, dn_dy{};
+      for (int a = 0; a < 4; ++a) {
+        dn_dx[static_cast<std::size_t>(a)] = dn_dxi[static_cast<std::size_t>(a)] * 2.0;
+        dn_dy[static_cast<std::size_t>(a)] = dn_deta[static_cast<std::size_t>(a)] * 2.0;
+      }
+      const double det_j = 0.25;  // (1/2)*(1/2)
+      // B matrix (3x8): strain = B * u.
+      std::array<std::array<double, 8>, 3> b{};
+      for (int a = 0; a < 4; ++a) {
+        b[0][static_cast<std::size_t>(2 * a)] = dn_dx[static_cast<std::size_t>(a)];
+        b[1][static_cast<std::size_t>(2 * a + 1)] = dn_dy[static_cast<std::size_t>(a)];
+        b[2][static_cast<std::size_t>(2 * a)] = dn_dy[static_cast<std::size_t>(a)];
+        b[2][static_cast<std::size_t>(2 * a + 1)] = dn_dx[static_cast<std::size_t>(a)];
+      }
+      // ke += B^T D B * detJ (weights are 1).
+      for (int p = 0; p < 8; ++p) {
+        for (int q = 0; q < 8; ++q) {
+          double acc = 0.0;
+          // D is [[d00,d01,0],[d01,d00,0],[0,0,d22]].
+          const double b0p = b[0][static_cast<std::size_t>(p)];
+          const double b1p = b[1][static_cast<std::size_t>(p)];
+          const double b2p = b[2][static_cast<std::size_t>(p)];
+          const double b0q = b[0][static_cast<std::size_t>(q)];
+          const double b1q = b[1][static_cast<std::size_t>(q)];
+          const double b2q = b[2][static_cast<std::size_t>(q)];
+          acc += b0p * (d00 * b0q + d01 * b1q);
+          acc += b1p * (d01 * b0q + d00 * b1q);
+          acc += b2p * d22 * b2q;
+          ke[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)] +=
+              acc * det_j;
+        }
+      }
+    }
+  }
+
+  // Node numbering on an (nx+1)x(ny+1) grid; left edge (x=0) is clamped.
+  const index_t nodes_x = nx + 1, nodes_y = ny + 1;
+  std::vector<index_t> dof(static_cast<std::size_t>(nodes_x * nodes_y), -1);
+  index_t n_dof = 0;
+  for (index_t yy = 0; yy < nodes_y; ++yy) {
+    for (index_t xx = 0; xx < nodes_x; ++xx) {
+      if (xx == 0) continue;  // clamped
+      dof[static_cast<std::size_t>(yy * nodes_x + xx)] = n_dof;
+      n_dof += 2;
+    }
+  }
+  // Per-element modulus scale: with contrast > 0 the plate is a two-phase
+  // composite (stiff matrix + soft inclusions `contrast` decades softer,
+  // regions shaped by a smooth random field). Soft-element entries are
+  // orders of magnitude below the rest, so magnitude sparsification removes
+  // them without disturbing the stiff load paths.
+  Rng rng(seed == 0 ? 0xe1a5u : seed);
+  std::optional<SmoothField> field;
+  if (contrast > 0.0) field.emplace(rng);
+  constexpr double kLn10 = 2.302585092994046;
+  // Expansion joints: with contrast > 0, every ~ny/3-rd element row is a
+  // soft full-width seam (regularly spaced bond lines between panels). They
+  // are the entries a magnitude drop removes first, and because they span
+  // the width, removing them genuinely cuts the factor's dependence depth.
+  std::vector<char> joint(static_cast<std::size_t>(ny), 0);
+  if (contrast > 0.0) {
+    const index_t panel = std::max<index_t>(6, ny / 3);
+    for (index_t ey = panel; ey + 1 < ny; ey += panel)
+      joint[static_cast<std::size_t>(ey)] = 1;
+  }
+  auto element_scale = [&](index_t ex, index_t ey) {
+    if (!field) return 1.0;
+    if (joint[static_cast<std::size_t>(ey)])
+      return std::exp(-(contrast + 2.0) * kLn10);
+    const double t = field->at((static_cast<double>(ex) + 0.5) / nx,
+                               (static_cast<double>(ey) + 0.5) / ny);
+    return std::exp(contrast * kLn10 * std::min(0.0, std::tanh(4.0 * t)));
+  };
+  std::vector<T3> ts;
+  for (index_t ey = 0; ey < ny; ++ey) {
+    for (index_t ex = 0; ex < nx; ++ex) {
+      const double scale = element_scale(ex, ey);
+      // Element nodes counter-clockwise.
+      const std::array<index_t, 4> nd{
+          ey * nodes_x + ex, ey * nodes_x + ex + 1,
+          (ey + 1) * nodes_x + ex + 1, (ey + 1) * nodes_x + ex};
+      for (int a = 0; a < 4; ++a) {
+        for (int bq = 0; bq < 4; ++bq) {
+          const index_t da = dof[static_cast<std::size_t>(nd[static_cast<std::size_t>(a)])];
+          const index_t db = dof[static_cast<std::size_t>(nd[static_cast<std::size_t>(bq)])];
+          if (da < 0 || db < 0) continue;
+          for (int ca = 0; ca < 2; ++ca) {
+            for (int cb = 0; cb < 2; ++cb) {
+              const double v = scale * ke[static_cast<std::size_t>(2 * a + ca)]
+                                         [static_cast<std::size_t>(2 * bq + cb)];
+              if (v != 0.0)
+                ts.push_back({da + ca, db + cb, v});
+            }
+          }
+        }
+      }
+    }
+  }
+  // Elastic foundation (Winkler springs): a small positive diagonal that
+  // anchors soft-inclusion dofs, standard for plates on a substrate. Without
+  // it the soft dofs are governed purely by their (near-zero) couplings and
+  // any perturbation there is relatively large.
+  for (index_t d = 0; d < n_dof; ++d) ts.push_back({d, d, 0.02 * young});
+  // Assembly cancellations produce (near-)zero couplings; symmetrize away
+  // the summation-order roundoff, then strip them so they neither extend the
+  // dependence DAG nor consume the sparsification budget.
+  Csr<double> a = csr_from_triplets(n_dof, n_dof, std::move(ts));
+  const Csr<double> at = transpose(a);
+  a = add(a, at);
+  for (double& v : a.values) v *= 0.5;
+  double max_abs = 0.0;
+  for (const double v : a.values) max_abs = std::max(max_abs, std::abs(v));
+  return drop_small(a, 1e-13 * max_abs);
+}
+
+Csr<double> gen_grid_laplacian(index_t nx, index_t ny, double weight_sigma,
+                               double shift, std::uint64_t seed) {
+  SPCG_CHECK(nx > 0 && ny > 0 && shift > 0.0);
+  Rng rng(seed);
+  const index_t n = nx * ny;
+  // Conductances combine a smooth regional factor (supply regions vs weak
+  // parasitic regions of the die) with a heavy-tailed per-wire factor.
+  // Additionally, ~8% of the horizontal grid lines are weak "routing
+  // channels": the vertical wires crossing them are orders of magnitude
+  // weaker (hierarchical supply networks). A weak channel spans the full
+  // width, so dropping it genuinely shortens the dependence depth.
+  const SmoothField field(rng);
+  std::vector<char> channel(static_cast<std::size_t>(ny), 0);
+  for (index_t y = 1; y + 1 < ny; ++y)
+    channel[static_cast<std::size_t>(y)] = rng.uniform() < 0.08;
+  auto id = [&](index_t x, index_t y) { return y * nx + x; };
+  auto conductance = [&](index_t x, index_t y) {
+    const double smooth = field.at(static_cast<double>(x) / nx,
+                                   static_cast<double>(y) / ny);
+    return std::exp(1.6 * weight_sigma * smooth +
+                    0.4 * weight_sigma * rng.normal());
+  };
+  std::vector<T3> ts;
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = id(x, y);
+      if (x + 1 < nx) ts.push_back({i, id(x + 1, y), -conductance(x, y)});
+      if (y + 1 < ny) {
+        const double weak =
+            channel[static_cast<std::size_t>(y + 1)] ? 1e-5 : 1.0;
+        ts.push_back({i, id(x, y + 1), -weak * conductance(x, y)});
+      }
+    }
+  }
+  mirror_offdiag(ts);
+  return dominant_from_triplets(n, std::move(ts), 0.0, shift);
+}
+
+Csr<double> gen_random_geometric(index_t n, int dim, double radius,
+                                 double shift, std::uint64_t seed) {
+  SPCG_CHECK(n > 0 && (dim == 2 || dim == 3) && radius > 0.0 && shift > 0.0);
+  Rng rng(seed);
+  std::vector<double> pos(static_cast<std::size_t>(n) * static_cast<std::size_t>(dim));
+  for (double& p : pos) p = rng.uniform();
+
+  // Cell grid for neighbor search.
+  const auto cells = static_cast<index_t>(std::max(1.0, std::floor(1.0 / radius)));
+  const double cell_w = 1.0 / static_cast<double>(cells);
+  auto cell_of = [&](double x) {
+    return std::min<index_t>(cells - 1, static_cast<index_t>(x / cell_w));
+  };
+  const index_t num_cells = dim == 2 ? cells * cells : cells * cells * cells;
+  std::vector<std::vector<index_t>> buckets(static_cast<std::size_t>(num_cells));
+  auto cell_id = [&](index_t i) {
+    const double* p = &pos[static_cast<std::size_t>(i) * static_cast<std::size_t>(dim)];
+    index_t c = cell_of(p[0]) + cells * cell_of(p[1]);
+    if (dim == 3) c += cells * cells * cell_of(p[2]);
+    return c;
+  };
+  for (index_t i = 0; i < n; ++i)
+    buckets[static_cast<std::size_t>(cell_id(i))].push_back(i);
+
+  // Heavy-tailed node masses: edge affinity m_i * m_j / distance. Real
+  // affinity graphs have magnitudes spanning orders of magnitude, which is
+  // what makes the bottom decile of entries numerically irrelevant.
+  std::vector<double> mass(static_cast<std::size_t>(n));
+  for (double& m : mass) m = rng.pareto(1.2);
+  std::vector<T3> ts;
+  const double r2 = radius * radius;
+  auto try_edge = [&](index_t i, index_t j) {
+    if (j <= i) return;
+    const double* pi = &pos[static_cast<std::size_t>(i) * static_cast<std::size_t>(dim)];
+    const double* pj = &pos[static_cast<std::size_t>(j) * static_cast<std::size_t>(dim)];
+    double d2 = 0.0;
+    for (int c = 0; c < dim; ++c) {
+      const double d = pi[c] - pj[c];
+      d2 += d * d;
+    }
+    if (d2 < r2 && d2 > 0.0)
+      ts.push_back({i, j, -mass[static_cast<std::size_t>(i)] *
+                              mass[static_cast<std::size_t>(j)] /
+                              std::sqrt(d2)});
+  };
+  auto for_neighbors = [&](index_t cx, index_t cy, index_t cz, auto&& fn) {
+    for (index_t dx = -1; dx <= 1; ++dx) {
+      for (index_t dy = -1; dy <= 1; ++dy) {
+        for (index_t dz = (dim == 3 ? -1 : 0); dz <= (dim == 3 ? 1 : 0); ++dz) {
+          const index_t x = cx + dx, y = cy + dy, z = cz + dz;
+          if (x < 0 || x >= cells || y < 0 || y >= cells) continue;
+          if (dim == 3 && (z < 0 || z >= cells)) continue;
+          fn(x + cells * y + (dim == 3 ? cells * cells * z : 0));
+        }
+      }
+    }
+  };
+  for (index_t i = 0; i < n; ++i) {
+    const double* p = &pos[static_cast<std::size_t>(i) * static_cast<std::size_t>(dim)];
+    const index_t cx = cell_of(p[0]), cy = cell_of(p[1]);
+    const index_t cz = dim == 3 ? cell_of(p[2]) : 0;
+    for_neighbors(cx, cy, cz, [&](index_t c) {
+      for (const index_t j : buckets[static_cast<std::size_t>(c)]) try_edge(i, j);
+    });
+  }
+  mirror_offdiag(ts);
+  return dominant_from_triplets(n, std::move(ts), 0.0, shift);
+}
+
+Csr<double> gen_mesh_laplacian(index_t nx, index_t ny, double jitter,
+                               double shift, std::uint64_t seed) {
+  SPCG_CHECK(nx > 1 && ny > 1 && shift > 0.0);
+  Rng rng(seed);
+  const index_t n = nx * ny;
+  // Jittered grid vertices; each quad split into two triangles, weights from
+  // inverse edge lengths (a positive cotan-like surrogate).
+  std::vector<double> px(static_cast<std::size_t>(n)), py(static_cast<std::size_t>(n));
+  auto id = [&](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      px[static_cast<std::size_t>(id(x, y))] =
+          static_cast<double>(x) + jitter * (rng.uniform() - 0.5);
+      py[static_cast<std::size_t>(id(x, y))] =
+          static_cast<double>(y) + jitter * (rng.uniform() - 0.5);
+    }
+  }
+  // Per-region feature scale (smooth field) plus weak seams: ~6% of the
+  // mesh rows are patch boundaries (UV seams / crease lines) whose crossing
+  // edges carry near-zero cotan weight. Seams span the full width, so
+  // dropping them shortens the dependence depth.
+  const SmoothField field(rng);
+  std::vector<char> seam(static_cast<std::size_t>(ny), 0);
+  for (index_t yy = 1; yy + 1 < ny; ++yy)
+    seam[static_cast<std::size_t>(yy)] = rng.uniform() < 0.06;
+  auto w = [&](index_t a, index_t b) {
+    const double dx = px[static_cast<std::size_t>(a)] - px[static_cast<std::size_t>(b)];
+    const double dy = py[static_cast<std::size_t>(a)] - py[static_cast<std::size_t>(b)];
+    double scale = std::exp(
+        2.5 * field.at(px[static_cast<std::size_t>(a)] / nx,
+                       py[static_cast<std::size_t>(a)] / ny));
+    const index_t row_a = a / nx, row_b = b / nx;
+    if (row_a != row_b &&
+        seam[static_cast<std::size_t>(std::max(row_a, row_b))])
+      scale *= 1e-4;
+    return scale / std::max(1e-3, std::sqrt(dx * dx + dy * dy));
+  };
+  std::vector<T3> ts;
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = id(x, y);
+      if (x + 1 < nx) ts.push_back({i, id(x + 1, y), -w(i, id(x + 1, y))});
+      if (y + 1 < ny) ts.push_back({i, id(x, y + 1), -w(i, id(x, y + 1))});
+      if (x + 1 < nx && y + 1 < ny)  // quad diagonal
+        ts.push_back({i, id(x + 1, y + 1), -w(i, id(x + 1, y + 1))});
+    }
+  }
+  mirror_offdiag(ts);
+  return dominant_from_triplets(n, std::move(ts), 0.0, shift);
+}
+
+Csr<double> gen_economic(index_t n, index_t row_nnz, double alpha,
+                         std::uint64_t seed) {
+  SPCG_CHECK(n > 0 && row_nnz > 0 && alpha > 0.0 && alpha < 1.0);
+  Rng rng(seed);
+  // Input-output structure: a few dominant sectors (energy, logistics...)
+  // supply almost every industry with heavy-tailed coefficients, plus an
+  // occasional near-zero cross-sector residual (rounding of survey data).
+  // The residuals are the entries that chain arbitrary sector pairs — and
+  // the first thing magnitude sparsification removes.
+  const index_t hubs = std::max<index_t>(4, n / 50);
+  std::vector<T3> ts;
+  for (index_t i = 0; i < n; ++i) {
+    // Heavy-tailed technical coefficients, row-normalized to sum < 1.
+    std::vector<double> raw(static_cast<std::size_t>(row_nnz));
+    double sum = 0.0;
+    for (double& v : raw) {
+      v = rng.pareto(1.3) - 1.0 + 1e-4;  // heavy tail, positive
+      sum += v;
+    }
+    for (index_t k = 0; k < row_nnz; ++k) {
+      const bool residual = rng.uniform() < 0.15;
+      index_t j = static_cast<index_t>(rng.uniform_index(
+          static_cast<std::uint64_t>(residual ? n : hubs)));
+      if (j == i) j = (j + 1) % n;
+      double coef = alpha * raw[static_cast<std::size_t>(k)] / (2.0 * sum);
+      if (residual) coef *= 1e-4;
+      // sym(W): half the coefficient on each side of the diagonal.
+      ts.push_back({i, j, -coef});
+      ts.push_back({j, i, -coef});
+    }
+  }
+  // Merge duplicates via csr, then enforce dominance: row sums of |offdiag|
+  // are < alpha < 1, so diagonal 1 suffices; use dominance builder anyway to
+  // stay robust to duplicate-sum corner cases.
+  return dominant_from_triplets(n, std::move(ts), 0.02, 1.0 - alpha);
+}
+
+Csr<double> gen_normal_equations(index_t n, index_t rows, index_t row_nnz,
+                                 double delta, std::uint64_t seed) {
+  SPCG_CHECK(n > 0 && rows > 0 && row_nnz > 0 && delta > 0.0);
+  Rng rng(seed);
+  std::vector<T3> ts;
+  std::vector<index_t> cols(static_cast<std::size_t>(row_nnz));
+  std::vector<double> vals(static_cast<std::size_t>(row_nnz));
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t k = 0; k < row_nnz; ++k) {
+      // Power-law feature popularity (u^2 skew): a handful of features are
+      // ubiquitous (intercept-like), most co-occur rarely — so the Gram
+      // matrix mixes strong hub rows with many near-noise couplings.
+      const double u = rng.uniform();
+      cols[static_cast<std::size_t>(k)] = std::min<index_t>(
+          n - 1, static_cast<index_t>(static_cast<double>(n) * u * u));
+      vals[static_cast<std::size_t>(k)] = rng.normal();
+    }
+    // Accumulate the outer product g^T g.
+    for (index_t a = 0; a < row_nnz; ++a) {
+      for (index_t b = 0; b < row_nnz; ++b) {
+        ts.push_back({cols[static_cast<std::size_t>(a)],
+                      cols[static_cast<std::size_t>(b)],
+                      vals[static_cast<std::size_t>(a)] *
+                          vals[static_cast<std::size_t>(b)]});
+      }
+    }
+  }
+  for (index_t i = 0; i < n; ++i) ts.push_back({i, i, delta});
+  return csr_from_triplets(n, n, std::move(ts));
+}
+
+Csr<double> gen_banded(index_t n, index_t band, double decay, bool oscillate,
+                       std::uint64_t seed) {
+  SPCG_CHECK(n > 0 && band > 0 && decay > 0.0);
+  Rng rng(seed);
+  std::vector<T3> ts;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t d = 1; d <= band && i + d < n; ++d) {
+      // The band is ~35% occupied (beyond the first sub-diagonal): a fully
+      // stored band would be closed under elimination, making both ILU(0)
+      // and small-K ILU(K) exact and the baseline trivially convergent.
+      if (d > 1 && rng.uniform() > 0.35) continue;
+      // Oscillatory (acoustics-like) kernels peak away from the diagonal —
+      // the wavenumber term dominates at distance ~band/2 — so the
+      // depth-carrying near-diagonal entries are among the smallest.
+      // Monotone kernels (model reduction) decay from the diagonal.
+      const double dist = oscillate
+                              ? std::abs(static_cast<double>(d) -
+                                         0.5 * static_cast<double>(band))
+                              : static_cast<double>(d);
+      const double base = std::exp(-decay * dist);
+      const double sign =
+          oscillate ? std::cos(1.9 * static_cast<double>(d)) : -1.0;
+      const double v = sign * base * (0.5 + rng.uniform());
+      if (v != 0.0) ts.push_back({i, i + d, v});
+    }
+  }
+  mirror_offdiag(ts);
+  return dominant_from_triplets(n, std::move(ts), 0.05, 0.1);
+}
+
+Csr<double> gen_kernel2d(index_t nx, index_t ny, double radius, double decay,
+                         bool oscillate, std::uint64_t seed) {
+  SPCG_CHECK(nx > 0 && ny > 0 && radius >= 1.0 && decay > 0.0);
+  Rng rng(seed);
+  const index_t n = nx * ny;
+  auto id = [&](index_t x, index_t y) { return y * nx + x; };
+  const auto rad = static_cast<index_t>(std::floor(radius));
+  const double peak = oscillate ? 0.7 * radius : 0.0;
+  std::vector<T3> ts;
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = id(x, y);
+      // One side of each coupling; mirror_offdiag adds the transpose.
+      for (index_t dy = 0; dy <= rad; ++dy) {
+        for (index_t dx = (dy == 0 ? 1 : -rad); dx <= rad; ++dx) {
+          const double r = std::sqrt(static_cast<double>(dx * dx + dy * dy));
+          if (r > radius) continue;
+          const index_t xx = x + dx, yy = y + dy;
+          if (xx < 0 || xx >= nx || yy >= ny) continue;
+          // Beyond nearest neighbors the stencil is ~60% occupied so the
+          // pattern is not closed under elimination (ILU(K) stays inexact).
+          if (r > 1.5 && rng.uniform() > 0.6) continue;
+          const double base = std::exp(-decay * std::abs(r - peak));
+          const double sign = oscillate ? std::cos(1.9 * r) : -1.0;
+          const double v = sign * base * (0.5 + rng.uniform());
+          if (v != 0.0) ts.push_back({i, id(xx, yy), v});
+        }
+      }
+    }
+  }
+  mirror_offdiag(ts);
+  return dominant_from_triplets(n, std::move(ts), 0.02, 0.05);
+}
+
+Csr<double> gen_ar1_precision(index_t n, double rho, index_t extra_band,
+                              std::uint64_t seed) {
+  SPCG_CHECK(n > 1 && rho > 0.0 && rho < 1.0);
+  Rng rng(seed);
+  const double s2 = 1.0 - rho * rho;
+  // Regime-switching autocorrelation: segments of ~n/12 steps alternate
+  // between the nominal rho and a near-zero regime (30% of segments). The
+  // weak-regime couplings are the smallest entries in the matrix yet carry
+  // the full dependence chain — dropping them splits the chain into the
+  // strong segments.
+  std::vector<T3> ts;
+  const index_t seg_len = std::max<index_t>(8, n / 12);
+  double seg_rho = rho;
+  for (index_t i = 0; i + 1 < n; ++i) {
+    if (i % seg_len == 0) seg_rho = (rng.uniform() < 0.3) ? 1e-4 * rho : rho;
+    ts.push_back({i, i + 1, -seg_rho / s2 * (0.9 + 0.2 * rng.uniform())});
+  }
+  // Long-range couplings (e.g. seasonal terms), clearly stronger than the
+  // weak-regime chain entries.
+  if (extra_band > 1) {
+    for (index_t i = 0; i + extra_band < n; ++i) {
+      if (rng.uniform() < 0.3)
+        ts.push_back({i, i + extra_band,
+                      -0.1 * rho / s2 * (0.5 + rng.uniform())});
+    }
+  }
+  mirror_offdiag(ts);
+  return dominant_from_triplets(n, std::move(ts), 0.02, 0.05);
+}
+
+Csr<double> gen_lattice3d(index_t nx, index_t ny, index_t nz, double tail,
+                          std::uint64_t seed) {
+  SPCG_CHECK(nx > 0 && ny > 0 && nz > 0 && tail > 0.0);
+  Rng rng(seed);
+  const index_t n = nx * ny * nz;
+  // Brick-and-mortar composite: one weak interface near the middle of each
+  // axis partitions the lattice into eight strong blocks. The three
+  // interface cross-sections are a small fraction of the bonds, yet cutting
+  // them caps the dependence depth at the largest block's extent — roughly
+  // halving the wavefront count.
+  const index_t cx = nx / 2 + static_cast<index_t>(rng.uniform_index(3)) - 1;
+  const index_t cy = ny / 2 + static_cast<index_t>(rng.uniform_index(3)) - 1;
+  const index_t cz = nz / 2 + static_cast<index_t>(rng.uniform_index(3)) - 1;
+  auto grain = [&](index_t x, index_t y, index_t z) {
+    return (x < cx ? 1 : 0) + (y < cy ? 2 : 0) + (z < cz ? 4 : 0);
+  };
+  auto id = [&](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  std::vector<T3> ts;
+  auto bond = [&](index_t xa, index_t ya, index_t za, index_t xb, index_t yb,
+                  index_t zb) {
+    const bool same = grain(xa, ya, za) == grain(xb, yb, zb);
+    const double strength =
+        same ? rng.pareto(tail) : 1e-5 * (0.5 + rng.uniform());
+    ts.push_back({id(xa, ya, za), id(xb, yb, zb), -strength});
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        if (x + 1 < nx) bond(x, y, z, x + 1, y, z);
+        if (y + 1 < ny) bond(x, y, z, x, y + 1, z);
+        if (z + 1 < nz) bond(x, y, z, x, y, z + 1);
+      }
+    }
+  }
+  mirror_offdiag(ts);
+  return dominant_from_triplets(n, std::move(ts), 0.0, 0.05);
+}
+
+Csr<double> gen_chain_with_skips(index_t n, index_t stride,
+                                 double chain_weight, double skip_weight,
+                                 std::uint64_t seed) {
+  SPCG_CHECK(n > 2 && stride > 1);
+  Rng rng(seed);
+  std::vector<T3> ts;
+  // The sequential chain forces n wavefronts. Its links are strong
+  // (skip_weight scale) within blocks of ~n/12 rows and weak (chain_weight
+  // scale) in short gaps between blocks — a time-window structure with
+  // loose coupling between windows. Dropping the weak gap links caps the
+  // dependence depth at one block (a ~10x wavefront reduction) while
+  // perturbing the matrix only by the near-zero gap values. With
+  // chain_weight ~ skip_weight the gaps are not distinguishable by
+  // magnitude and sparsification cannot shorten the chain (worst case).
+  const index_t block = std::max<index_t>(40, n / 12);
+  constexpr index_t kGap = 8;
+  for (index_t i = 0; i + 1 < n; ++i) {
+    const bool in_gap = (i % block) >= block - kGap;
+    const double w = in_gap ? chain_weight : 0.6 * skip_weight;
+    ts.push_back({i, i + 1, -w * (0.8 + 0.4 * rng.uniform())});
+  }
+  // Hub couplings: every non-hub node attaches to a few hub rows with
+  // skip_weight, providing the bulk of the nonzeros and keeping the system
+  // well conditioned independently of the gap links.
+  const index_t hubs = std::max<index_t>(2, n / (4 * stride));
+  constexpr index_t kEdgesPerNode = 12;
+  for (index_t i = hubs; i < n; ++i) {
+    for (index_t e = 0; e < kEdgesPerNode; ++e) {
+      const auto h = static_cast<index_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(hubs)));
+      ts.push_back({i, h, -skip_weight * (0.8 + 0.4 * rng.uniform()) /
+                              static_cast<double>(kEdgesPerNode)});
+    }
+  }
+  mirror_offdiag(ts);
+  return dominant_from_triplets(n, std::move(ts), 0.05, 0.2);
+}
+
+std::vector<double> make_rhs(const Csr<double>& a, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x_true(static_cast<std::size_t>(a.rows));
+  for (double& v : x_true) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> b = spmv(a, x_true);
+  const double nb = norm2(std::span<const double>(b));
+  SPCG_CHECK(nb > 0.0);
+  for (double& v : b) v /= nb;
+  return b;
+}
+
+}  // namespace spcg

@@ -1,0 +1,114 @@
+// Synthetic SPD matrix generators.
+//
+// Stand-in for the SuiteSparse SPD subset used by the paper (no network
+// access in this environment — DESIGN.md §3). Each generator produces a
+// symmetric positive-definite CSR matrix with a fully stored diagonal; SPD
+// is obtained either by construction (FEM/graph Laplacian + positive shift,
+// normal equations + ridge) or by enforcing strict diagonal dominance.
+//
+// The generators deliberately span the regimes the paper studies:
+//   * heavy-tailed off-diagonal magnitudes (circuit, materials, economics)
+//     where many tiny entries can be dropped harmlessly,
+//   * uniform-magnitude stencils (2D/3D Poisson) where every entry matters,
+//   * long dependence chains carried by small entries (counter-examples)
+//     where sparsification collapses the wavefront count.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.h"
+#include "support/rng.h"
+
+namespace spcg {
+
+/// 5-point Laplacian on an nx-by-ny grid (Dirichlet), n = nx*ny.
+Csr<double> gen_poisson2d(index_t nx, index_t ny);
+
+/// 7-point Laplacian on an nx*ny*nz grid (Dirichlet).
+Csr<double> gen_poisson3d(index_t nx, index_t ny, index_t nz);
+
+/// Anisotropic 2D Laplacian: -eps*u_xx - u_yy, 5-point. With seed != 0 the
+/// anisotropy varies smoothly across the domain (boundary-layer regions),
+/// ranging between ~eps^0.25 and ~eps^1.75.
+Csr<double> gen_anisotropic2d(index_t nx, index_t ny, double eps,
+                              std::uint64_t seed = 0);
+
+/// Variable-coefficient 2D diffusion with a lognormal coefficient field of
+/// log-space sigma `contrast`; edge weights are harmonic means.
+Csr<double> gen_varcoef2d(index_t nx, index_t ny, double contrast,
+                          std::uint64_t seed);
+
+/// Q1 plane-strain elasticity stiffness on an nx-by-ny element grid with the
+/// left edge clamped (2 dofs/node on the free nodes), assembled with 2x2
+/// Gauss quadrature. Young's modulus `young`, Poisson ratio `nu`. With
+/// contrast > 0 the plate is a two-phase composite whose soft inclusions are
+/// `contrast` decades softer (regions from a seeded smooth field).
+Csr<double> gen_elasticity2d(index_t nx, index_t ny, double young, double nu,
+                             std::uint64_t seed = 0, double contrast = 0.0);
+
+/// Weighted grid-graph Laplacian plus diagonal shift. Weights are lognormal
+/// with log-sigma `weight_sigma` (heavy-tailed for sigma >~ 1.5).
+Csr<double> gen_grid_laplacian(index_t nx, index_t ny, double weight_sigma,
+                               double shift, std::uint64_t seed);
+
+/// Random geometric graph Laplacian: n points in the unit square (dim=2) or
+/// cube (dim=3), edges within `radius`, weight 1/distance, plus shift.
+Csr<double> gen_random_geometric(index_t n, int dim, double radius,
+                                 double shift, std::uint64_t seed);
+
+/// Triangulated-grid mesh Laplacian with jittered vertices and positive
+/// cotangent-like weights (computer graphics / vision).
+Csr<double> gen_mesh_laplacian(index_t nx, index_t ny, double jitter,
+                               double shift, std::uint64_t seed);
+
+/// Leontief-style economic matrix A = I - alpha * sym(W), W sparse
+/// row-substochastic with `row_nnz` heavy-tailed coefficients per row.
+/// SPD for alpha < 1.
+Csr<double> gen_economic(index_t n, index_t row_nnz, double alpha,
+                         std::uint64_t seed);
+
+/// Normal equations A = G^T G + delta*I with a random sparse G of size
+/// (rows x n), `row_nnz` entries per row of G.
+Csr<double> gen_normal_equations(index_t n, index_t rows, index_t row_nnz,
+                                 double delta, std::uint64_t seed);
+
+/// Banded SPD matrix of half-bandwidth `band`; off-diagonal magnitude decays
+/// as exp(-decay*d) and oscillates in sign when `oscillate` (acoustics /
+/// model reduction). Diagonal enforces strict dominance.
+Csr<double> gen_banded(index_t n, index_t band, double decay, bool oscillate,
+                       std::uint64_t seed);
+
+/// 2D kernel operator on an nx-by-ny grid: couplings to all neighbors within
+/// euclidean `radius`. When `oscillate` (acoustics / Helmholtz-like), the
+/// magnitude peaks at ~0.7*radius with sign cos(1.9*r) and the depth-carrying
+/// distance-1 couplings are among the smallest; otherwise (model reduction)
+/// magnitude decays monotonically from the diagonal with rate `decay`.
+/// Unlike a 1D band, the 2D pattern has a large graph diameter, so ILU(K)
+/// stays genuinely incomplete for practical K.
+Csr<double> gen_kernel2d(index_t nx, index_t ny, double radius, double decay,
+                         bool oscillate, std::uint64_t seed);
+
+/// AR(1)-precision-like banded SPD matrix (statistical/mathematical):
+/// tridiagonal AR(1) precision plus `extra_band` weak long-range bands.
+Csr<double> gen_ar1_precision(index_t n, double rho, index_t extra_band,
+                              std::uint64_t seed);
+
+/// 3D lattice with Pareto-distributed bond conductivities (materials).
+Csr<double> gen_lattice3d(index_t nx, index_t ny, index_t nz, double tail,
+                          std::uint64_t seed);
+
+/// Counter-example chain: a tridiagonal coupling of magnitude `chain_weight`
+/// (forcing n wavefronts) plus hub couplings of magnitude ~`skip_weight`
+/// attaching every node to one of ~n/(4*stride) hub rows (a depth-1
+/// dependence graph). With a tiny chain_weight the wavefront count is
+/// carried entirely by near-zero entries — the best case for sparsification;
+/// with chain_weight ~ skip_weight, the worst case.
+Csr<double> gen_chain_with_skips(index_t n, index_t stride,
+                                 double chain_weight, double skip_weight,
+                                 std::uint64_t seed);
+
+/// Deterministic right-hand side with ||b||_2 = 1: b = A * x_true for a
+/// seeded random x_true (entries uniform in [-1, 1]), normalized.
+std::vector<double> make_rhs(const Csr<double>& a, std::uint64_t seed);
+
+}  // namespace spcg

@@ -1,0 +1,310 @@
+#include "gen/suite.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "support/error.h"
+
+namespace spcg {
+namespace {
+
+struct SuiteEntry {
+  const char* name;
+  const char* category;
+  std::function<Csr<double>()> make;
+};
+
+/// The dataset table. Seeds are fixed per matrix so every build reproduces
+/// identical bits. Sizes are chosen so the heaviest experiment (ILU(K) with
+/// K up to 40 across the whole suite) completes in minutes on one core.
+const std::vector<SuiteEntry>& table() {
+  static const std::vector<SuiteEntry> t = {
+      // --- 2D/3D: uniform Poisson stencils --------------------------------
+      {"grid2d_32", "2D/3D", [] { return gen_poisson2d(32, 32); }},
+      {"grid2d_48", "2D/3D", [] { return gen_poisson2d(48, 48); }},
+      {"grid2d_64", "2D/3D", [] { return gen_poisson2d(64, 64); }},
+      {"grid2d_90", "2D/3D", [] { return gen_poisson2d(90, 90); }},
+      {"grid3d_10", "2D/3D", [] { return gen_poisson3d(10, 10, 10); }},
+      {"grid3d_14", "2D/3D", [] { return gen_poisson3d(14, 14, 14); }},
+      {"grid3d_18", "2D/3D", [] { return gen_poisson3d(18, 18, 18); }},
+      // --- acoustics: oscillatory banded operators ------------------------
+      {"ac_band_2000_8", "acoustics",
+       [] { return gen_kernel2d(46, 46, 3.2, 0.9, true, 101); }},
+      {"ac_band_3000_12", "acoustics",
+       [] { return gen_kernel2d(56, 54, 3.0, 0.8, true, 102); }},
+      {"ac_band_4000_16", "acoustics",
+       [] { return gen_kernel2d(64, 64, 3.5, 0.7, true, 103); }},
+      {"ac_band_2500_6", "acoustics",
+       [] { return gen_kernel2d(50, 50, 2.5, 1.0, true, 104); }},
+      {"ac_band_3500_10", "acoustics",
+       [] { return gen_kernel2d(60, 58, 3.0, 0.9, true, 105); }},
+      {"ac_band_1500_20", "acoustics",
+       [] { return gen_kernel2d(40, 40, 4.0, 0.6, true, 106); }},
+      // --- circuit simulation: heavy-tailed conductance grids -------------
+      {"ckt_40x40", "circuit simulation",
+       [] { return gen_grid_laplacian(40, 40, 2.0, 0.5, 201); }},
+      {"ckt_56x56", "circuit simulation",
+       [] { return gen_grid_laplacian(56, 56, 2.0, 0.5, 202); }},
+      {"ckt_70x70", "circuit simulation",
+       [] { return gen_grid_laplacian(70, 70, 2.2, 0.4, 203); }},
+      {"ckt_88x88", "circuit simulation",
+       [] { return gen_grid_laplacian(88, 88, 2.0, 0.5, 204); }},
+      {"ckt_120x20", "circuit simulation",
+       [] { return gen_grid_laplacian(120, 20, 2.4, 0.3, 205); }},
+      {"ckt_32x32_hot", "circuit simulation",
+       [] { return gen_grid_laplacian(32, 32, 2.8, 0.3, 206); }},
+      {"ckt_64x64_mild", "circuit simulation",
+       [] { return gen_grid_laplacian(64, 64, 1.8, 0.6, 207); }},
+      // --- computational fluid dynamics: anisotropic operators ------------
+      {"cfd_aniso_48_e01", "computational fluid dynamics",
+       [] { return gen_anisotropic2d(48, 48, 0.01, 251); }},
+      {"cfd_aniso_64_e01", "computational fluid dynamics",
+       [] { return gen_anisotropic2d(64, 64, 0.01, 252); }},
+      {"cfd_aniso_64_e1", "computational fluid dynamics",
+       [] { return gen_anisotropic2d(64, 64, 0.1, 253); }},
+      {"cfd_aniso_80_e05", "computational fluid dynamics",
+       [] { return gen_anisotropic2d(80, 80, 0.05, 254); }},
+      {"cfd_aniso_56_e001", "computational fluid dynamics",
+       [] { return gen_anisotropic2d(56, 56, 0.001, 255); }},
+      {"cfd_aniso_72_e02", "computational fluid dynamics",
+       [] { return gen_anisotropic2d(72, 72, 0.02, 256); }},
+      // --- computer graphics/vision: irregular mesh Laplacians ------------
+      {"mesh_40x40", "computer graphics/vision",
+       [] { return gen_mesh_laplacian(40, 40, 0.30, 0.05, 301); }},
+      {"mesh_56x56", "computer graphics/vision",
+       [] { return gen_mesh_laplacian(56, 56, 0.30, 0.05, 302); }},
+      {"mesh_64x64", "computer graphics/vision",
+       [] { return gen_mesh_laplacian(64, 64, 0.45, 0.05, 303); }},
+      {"mesh_72x72", "computer graphics/vision",
+       [] { return gen_mesh_laplacian(72, 72, 0.20, 0.04, 304); }},
+      {"mesh_48x48", "computer graphics/vision",
+       [] { return gen_mesh_laplacian(48, 48, 0.60, 0.06, 305); }},
+      {"mesh_80x80", "computer graphics/vision",
+       [] { return gen_mesh_laplacian(80, 80, 0.35, 0.05, 306); }},
+      // --- counter-example: dependence chains of near-zero entries --------
+      {"ce_weakchain_2000", "counter-example",
+       [] { return gen_chain_with_skips(2000, 4, 1e-4, 1.0, 401); }},
+      {"ce_weakchain_4000", "counter-example",
+       [] { return gen_chain_with_skips(4000, 4, 1e-4, 1.0, 402); }},
+      {"ce_strongchain_2000", "counter-example",
+       [] { return gen_chain_with_skips(2000, 3, 1.0, 0.9, 403); }},
+      {"ce_mixed_3000", "counter-example",
+       [] { return gen_chain_with_skips(3000, 8, 0.01, 0.5, 404); }},
+      {"ce_weakchain_1500", "counter-example",
+       [] { return gen_chain_with_skips(1500, 2, 1e-4, 1.0, 405); }},
+      // --- duplicate model reduction: smoothly decaying bands -------------
+      {"dmr_band_2000_24", "duplicate model reduction",
+       [] { return gen_kernel2d(46, 44, 3.0, 0.8, false, 501); }},
+      {"dmr_band_3000_16", "duplicate model reduction",
+       [] { return gen_kernel2d(55, 55, 3.2, 0.7, false, 502); }},
+      {"dmr_band_4000_12", "duplicate model reduction",
+       [] { return gen_kernel2d(63, 64, 3.6, 0.6, false, 503); }},
+      {"dmr_band_2500_32", "duplicate model reduction",
+       [] { return gen_kernel2d(50, 50, 2.8, 0.9, false, 504); }},
+      {"dmr_band_1600_40", "duplicate model reduction",
+       [] { return gen_kernel2d(40, 40, 2.4, 1.0, false, 505); }},
+      {"dmr_band_3600_8", "duplicate model reduction",
+       [] { return gen_kernel2d(60, 60, 4.0, 0.5, false, 506); }},
+      // --- duplicate optimization: ridge normal equations -----------------
+      {"dopt_ne_1500", "duplicate optimization",
+       [] { return gen_normal_equations(1500, 3000, 5, 2.0, 601); }},
+      {"dopt_ne_2000", "duplicate optimization",
+       [] { return gen_normal_equations(2000, 4000, 5, 2.0, 602); }},
+      {"dopt_ne_2500", "duplicate optimization",
+       [] { return gen_normal_equations(2500, 5000, 4, 1.5, 603); }},
+      {"dopt_ne_3000", "duplicate optimization",
+       [] { return gen_normal_equations(3000, 4500, 4, 1.5, 604); }},
+      {"dopt_ne_1200", "duplicate optimization",
+       [] { return gen_normal_equations(1200, 3600, 6, 2.5, 605); }},
+      {"dopt_ne_1800", "duplicate optimization",
+       [] { return gen_normal_equations(1800, 2700, 5, 1.8, 606); }},
+      // --- economic: Leontief input-output systems -------------------------
+      {"econ_1500_8", "economic",
+       [] { return gen_economic(1500, 8, 0.9, 701); }},
+      {"econ_2000_10", "economic",
+       [] { return gen_economic(2000, 10, 0.9, 702); }},
+      {"econ_3000_6", "economic",
+       [] { return gen_economic(3000, 6, 0.85, 703); }},
+      {"econ_2500_12", "economic",
+       [] { return gen_economic(2500, 12, 0.92, 704); }},
+      {"econ_1200_16", "economic",
+       [] { return gen_economic(1200, 16, 0.88, 705); }},
+      {"econ_4000_5", "economic",
+       [] { return gen_economic(4000, 5, 0.8, 706); }},
+      // --- electromagnetics: high-contrast coefficient jumps --------------
+      {"em_48_c30", "electromagnetics",
+       [] { return gen_varcoef2d(48, 48, 3.0, 801); }},
+      {"em_64_c25", "electromagnetics",
+       [] { return gen_varcoef2d(64, 64, 2.5, 802); }},
+      {"em_56_c35", "electromagnetics",
+       [] { return gen_varcoef2d(56, 56, 3.5, 803); }},
+      {"em_72_c28", "electromagnetics",
+       [] { return gen_varcoef2d(72, 72, 2.8, 804); }},
+      {"em_40_c40", "electromagnetics",
+       [] { return gen_varcoef2d(40, 40, 4.0, 805); }},
+      {"em_80_c22", "electromagnetics",
+       [] { return gen_varcoef2d(80, 80, 2.2, 806); }},
+      // --- materials: lattices with heavy-tailed bond strengths -----------
+      {"mat_lat_10", "materials",
+       [] { return gen_lattice3d(10, 10, 10, 1.0, 901); }},
+      {"mat_lat_12", "materials",
+       [] { return gen_lattice3d(12, 12, 12, 1.2, 902); }},
+      {"mat_lat_14", "materials",
+       [] { return gen_lattice3d(14, 14, 14, 0.9, 903); }},
+      {"mat_lat_8x8x16", "materials",
+       [] { return gen_lattice3d(8, 8, 16, 1.1, 904); }},
+      {"mat_lat_16x16x8", "materials",
+       [] { return gen_lattice3d(16, 16, 8, 1.0, 905); }},
+      {"mat_lat_11", "materials",
+       [] { return gen_lattice3d(11, 11, 11, 1.5, 906); }},
+      {"mat_lat_13", "materials",
+       [] { return gen_lattice3d(13, 13, 13, 0.8, 907); }},
+      // --- optimization: larger/denser normal equations -------------------
+      {"opt_ne_2200_7", "optimization",
+       [] { return gen_normal_equations(2200, 4400, 7, 3.0, 1001); }},
+      {"opt_ne_2600_6", "optimization",
+       [] { return gen_normal_equations(2600, 5200, 6, 2.5, 1002); }},
+      {"opt_ne_1800_8", "optimization",
+       [] { return gen_normal_equations(1800, 2700, 8, 3.5, 1003); }},
+      {"opt_ne_1400_5", "optimization",
+       [] { return gen_normal_equations(1400, 4200, 5, 2.0, 1004); }},
+      {"opt_ne_2400_6", "optimization",
+       [] { return gen_normal_equations(2400, 3600, 6, 2.2, 1005); }},
+      {"opt_ne_3000_7", "optimization",
+       [] { return gen_normal_equations(3000, 4500, 7, 2.8, 1006); }},
+      // --- power network: grid Laplacians with long-range ties ------------
+      {"pwr_48x48", "power network",
+       [] { return gen_grid_laplacian(48, 48, 1.5, 0.2, 1101); }},
+      {"pwr_60x60", "power network",
+       [] { return gen_grid_laplacian(60, 60, 1.5, 0.2, 1102); }},
+      {"pwr_72x72", "power network",
+       [] { return gen_grid_laplacian(72, 72, 1.6, 0.15, 1103); }},
+      {"pwr_100x24", "power network",
+       [] { return gen_grid_laplacian(100, 24, 1.4, 0.25, 1104); }},
+      {"pwr_36x36", "power network",
+       [] { return gen_grid_laplacian(36, 36, 1.7, 0.2, 1105); }},
+      {"pwr_84x84", "power network",
+       [] { return gen_grid_laplacian(84, 84, 1.5, 0.18, 1106); }},
+      // --- random 2D/3D: geometric graphs ---------------------------------
+      {"rnd_geo2d_1500", "random 2D/3D",
+       [] { return gen_random_geometric(1500, 2, 0.05, 0.3, 1201); }},
+      {"rnd_geo2d_2500", "random 2D/3D",
+       [] { return gen_random_geometric(2500, 2, 0.04, 0.3, 1202); }},
+      {"rnd_geo2d_4000", "random 2D/3D",
+       [] { return gen_random_geometric(4000, 2, 0.03, 0.25, 1203); }},
+      {"rnd_geo3d_1500", "random 2D/3D",
+       [] { return gen_random_geometric(1500, 3, 0.12, 0.3, 1204); }},
+      {"rnd_geo3d_2500", "random 2D/3D",
+       [] { return gen_random_geometric(2500, 3, 0.10, 0.3, 1205); }},
+      {"rnd_geo3d_4000", "random 2D/3D",
+       [] { return gen_random_geometric(4000, 3, 0.085, 0.25, 1206); }},
+      {"rnd_geo2d_6000", "random 2D/3D",
+       [] { return gen_random_geometric(6000, 2, 0.025, 0.25, 1207); }},
+      // --- statistical/mathematical: precision matrices -------------------
+      {"stat_ar1_2000", "statistical/mathematical",
+       [] { return gen_ar1_precision(2000, 0.8, 12, 1301); }},
+      {"stat_ar1_3000", "statistical/mathematical",
+       [] { return gen_ar1_precision(3000, 0.9, 24, 1302); }},
+      {"stat_ar1_4000", "statistical/mathematical",
+       [] { return gen_ar1_precision(4000, 0.7, 7, 1303); }},
+      {"stat_ar1_2500", "statistical/mathematical",
+       [] { return gen_ar1_precision(2500, 0.95, 30, 1304); }},
+      {"stat_ne_1600", "statistical/mathematical",
+       [] { return gen_normal_equations(1600, 3200, 4, 1.2, 1305); }},
+      {"stat_ar1_5000", "statistical/mathematical",
+       [] { return gen_ar1_precision(5000, 0.85, 50, 1306); }},
+      // --- structural: plane-strain elasticity -----------------------------
+      {"str_elas_24x24", "structural",
+       [] { return gen_elasticity2d(24, 24, 1.0, 0.3, 1501, 2.5); }},
+      {"str_elas_32x32", "structural",
+       [] { return gen_elasticity2d(32, 32, 1.0, 0.3, 1502, 3.0); }},
+      {"str_elas_40x40", "structural",
+       [] { return gen_elasticity2d(40, 40, 1.0, 0.3, 1503, 2.0); }},
+      {"str_elas_48x48", "structural",
+       [] { return gen_elasticity2d(48, 48, 1.0, 0.25, 1504, 2.8); }},
+      {"str_elas_56x28", "structural",
+       [] { return gen_elasticity2d(56, 28, 1.0, 0.35, 1505, 2.2); }},
+      {"str_elas_36x36_soft", "structural",
+       [] { return gen_elasticity2d(36, 36, 10.0, 0.38, 1507, 3.5); }},
+      {"str_elas_28x56", "structural",
+       [] { return gen_elasticity2d(28, 56, 1.0, 0.3, 1506, 3.2); }},
+      // --- thermal: moderate-contrast diffusion ----------------------------
+      {"th_var_48_c10", "thermal",
+       [] { return gen_varcoef2d(48, 48, 2.0, 1401); }},
+      {"th_var_64_c10", "thermal",
+       [] { return gen_varcoef2d(64, 64, 2.0, 1402); }},
+      {"th_var_80_c12", "thermal",
+       [] { return gen_varcoef2d(80, 80, 2.2, 1403); }},
+      {"th_var_56_c15", "thermal",
+       [] { return gen_varcoef2d(56, 56, 2.5, 1404); }},
+      {"th_var_72_c08", "thermal",
+       [] { return gen_varcoef2d(72, 72, 1.8, 1405); }},
+      {"th_var_40_c20", "thermal",
+       [] { return gen_varcoef2d(40, 40, 3.0, 1406); }},
+      {"th_var_90_c10", "thermal",
+       [] { return gen_varcoef2d(90, 90, 2.0, 1407); }},
+  };
+  return t;
+}
+
+}  // namespace
+
+const std::vector<MatrixSpec>& suite_specs() {
+  static const std::vector<MatrixSpec> specs = [] {
+    std::vector<MatrixSpec> s;
+    const auto& t = table();
+    s.reserve(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      s.push_back({static_cast<index_t>(i), t[i].name, t[i].category});
+    }
+    return s;
+  }();
+  return specs;
+}
+
+index_t suite_size() { return static_cast<index_t>(table().size()); }
+
+std::vector<std::string> suite_categories() {
+  std::vector<std::string> cats;
+  for (const auto& spec : suite_specs()) {
+    if (std::find(cats.begin(), cats.end(), spec.category) == cats.end())
+      cats.push_back(spec.category);
+  }
+  return cats;
+}
+
+GeneratedMatrix generate_suite_matrix(index_t id) {
+  SPCG_CHECK_MSG(id >= 0 && id < suite_size(), "bad suite id " << id);
+  const auto& entry = table()[static_cast<std::size_t>(id)];
+  GeneratedMatrix g;
+  g.spec = suite_specs()[static_cast<std::size_t>(id)];
+  g.a = entry.make();
+  g.a.validate();
+  g.b = make_rhs(g.a, 0x5bc6u + static_cast<std::uint64_t>(id));
+  return g;
+}
+
+std::uint64_t suite_checksum() {
+  static const std::uint64_t sum = [] {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over sampled bits
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    for (const index_t id : {0, 9, 33, 61, 90}) {
+      const GeneratedMatrix g = generate_suite_matrix(id);
+      mix(static_cast<std::uint64_t>(g.a.nnz()));
+      for (std::size_t p = 0; p < g.a.values.size(); p += 97) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(double));
+        std::memcpy(&bits, &g.a.values[p], sizeof(bits));
+        mix(bits);
+      }
+    }
+    return h;
+  }();
+  return sum;
+}
+
+}  // namespace spcg

@@ -1,0 +1,43 @@
+// The synthetic evaluation dataset: 107 deterministic SPD matrices across
+// the paper's 17 application categories (stand-in for the SuiteSparse SPD
+// subset of §4.1 — see DESIGN.md §3 for the substitution rationale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+#include "sparse/csr.h"
+
+namespace spcg {
+
+struct MatrixSpec {
+  index_t id = 0;
+  std::string name;
+  std::string category;
+};
+
+struct GeneratedMatrix {
+  MatrixSpec spec;
+  Csr<double> a;
+  std::vector<double> b;  // deterministic RHS with ||b|| = 1
+};
+
+/// All 107 specs, in id order.
+const std::vector<MatrixSpec>& suite_specs();
+
+/// Number of matrices in the suite (107).
+index_t suite_size();
+
+/// Distinct category names, in first-appearance order (17).
+std::vector<std::string> suite_categories();
+
+/// Generate matrix `id` (deterministic; same bits on every call).
+GeneratedMatrix generate_suite_matrix(index_t id);
+
+/// Cheap checksum over a few suite matrices; changes whenever the generator
+/// definitions change. Used to invalidate cached experiment results.
+std::uint64_t suite_checksum();
+
+}  // namespace spcg

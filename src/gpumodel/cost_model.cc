@@ -1,0 +1,157 @@
+#include "gpumodel/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace spcg {
+
+double pcg_iteration_flops(index_t n, index_t a_nnz, index_t factor_nnz) {
+  // SpMV: 2 flops/nnz. Two triangular solves over the combined factor:
+  // 2 flops/nnz of L plus U ~= 2 * (factor_nnz + n) counting the unit
+  // diagonal. BLAS-1 tail (2 dots, 2 axpys, 1 xpby, 1 norm): ~12n.
+  return 2.0 * static_cast<double>(a_nnz) +
+         2.0 * (static_cast<double>(factor_nnz) + static_cast<double>(n)) +
+         12.0 * static_cast<double>(n);
+}
+
+CostModel::CostModel(DeviceSpec spec, int value_bytes)
+    : spec_(std::move(spec)), value_bytes_(value_bytes) {
+  SPCG_CHECK(value_bytes == 4 || value_bytes == 8);
+}
+
+OpCost CostModel::spmv(index_t rows, index_t nnz) const {
+  OpCost c;
+  c.flops = 2.0 * static_cast<double>(nnz);
+  // Matrix stream (values + column indices), row pointers, x gathered, y out.
+  c.bytes = static_cast<double>(nnz) * (value_bytes_ + index_bytes_) +
+            static_cast<double>(rows) * (index_bytes_ + 2.0 * value_bytes_);
+  c.seconds = launch_s() + std::max(mem_s(c.bytes), flop_s(c.flops));
+  return c;
+}
+
+OpCost CostModel::blas1(index_t n, int vectors_touched,
+                        int flops_per_element) const {
+  OpCost c;
+  c.flops = static_cast<double>(flops_per_element) * static_cast<double>(n);
+  c.bytes = static_cast<double>(vectors_touched) * static_cast<double>(n) *
+            value_bytes_;
+  c.seconds = launch_s() + std::max(mem_s(c.bytes), flop_s(c.flops));
+  return c;
+}
+
+OpCost CostModel::trisolve(const TriSolveStructure& s) const {
+  OpCost c;
+  c.seconds = launch_s();  // one solve kernel; levels sync internally
+  const double concurrent = std::max(1.0, spec_.concurrent_rows());
+  for (index_t l = 0; l < s.levels(); ++l) {
+    const auto rows = static_cast<double>(
+        s.rows_per_level[static_cast<std::size_t>(l)]);
+    const auto nnz = static_cast<double>(
+        s.nnz_per_level[static_cast<std::size_t>(l)]);
+    const double flops = 2.0 * nnz;
+    const double bytes = nnz * (value_bytes_ + index_bytes_) +
+                         rows * (index_bytes_ + 2.0 * value_bytes_);
+    // Rows beyond the device's concurrency serialize in batches; each batch
+    // pays the dependent-load row latency once.
+    const double batches = std::ceil(rows / concurrent);
+    const double compute =
+        batches * spec_.row_latency_us * 1e-6 + flop_s(flops);
+    c.seconds += sync_s() + std::max(mem_s(bytes), compute);
+    c.flops += flops;
+    c.bytes += bytes;
+  }
+  return c;
+}
+
+OpCost CostModel::trisolve_syncfree(const TriSolveStructure& s) const {
+  OpCost c;
+  const double concurrent = std::max(1.0, spec_.concurrent_rows());
+  double chain_s = 0.0;
+  for (index_t l = 0; l < s.levels(); ++l) {
+    const auto rows = static_cast<double>(
+        s.rows_per_level[static_cast<std::size_t>(l)]);
+    const auto nnz = static_cast<double>(
+        s.nnz_per_level[static_cast<std::size_t>(l)]);
+    c.flops += 2.0 * nnz;
+    c.bytes += nnz * (value_bytes_ + index_bytes_) +
+               rows * (index_bytes_ + 2.0 * value_bytes_);
+    // No barrier: each level costs one dependent-load hop on the critical
+    // path, serialized further only when the level exceeds the concurrency.
+    chain_s += std::ceil(rows / concurrent) * spec_.row_latency_us * 1e-6;
+  }
+  // Memory streaming overlaps with the spin chain; compute adds on top of
+  // whichever dominates.
+  c.seconds = launch_s() +
+              std::max(mem_s(c.bytes), chain_s + flop_s(c.flops));
+  return c;
+}
+
+OpCost CostModel::ilu0_factorization(const TriSolveStructure& s,
+                                     std::uint64_t elimination_ops) const {
+  OpCost c;
+  c.seconds = launch_s();
+  const double concurrent = std::max(1.0, spec_.concurrent_rows());
+  const double total_nnz = std::max(1.0, static_cast<double>(s.nnz));
+  const double total_ops = 2.0 * static_cast<double>(elimination_ops);
+  for (index_t l = 0; l < s.levels(); ++l) {
+    const auto rows = static_cast<double>(
+        s.rows_per_level[static_cast<std::size_t>(l)]);
+    const auto nnz = static_cast<double>(
+        s.nnz_per_level[static_cast<std::size_t>(l)]);
+    // Elimination work distributes roughly with the factor nonzeros.
+    const double flops = total_ops * (nnz / total_nnz);
+    const double bytes = 2.0 * nnz * (value_bytes_ + index_bytes_) +
+                         rows * index_bytes_;
+    const double batches = std::ceil(rows / concurrent);
+    const double compute =
+        batches * spec_.row_latency_us * 1e-6 + flop_s(flops);
+    c.seconds += sync_s() + std::max(mem_s(bytes), compute);
+    c.flops += flops;
+    c.bytes += bytes;
+  }
+  return c;
+}
+
+OpCost CostModel::iluk_factorization_host(std::uint64_t elimination_ops,
+                                          index_t pattern_nnz) const {
+  OpCost c;
+  c.flops = 2.0 * static_cast<double>(elimination_ops);
+  // Symbolic + scatter traffic scales with the filled pattern.
+  c.bytes = 6.0 * static_cast<double>(pattern_nnz) *
+            (value_bytes_ + index_bytes_);
+  c.seconds = flop_s(c.flops) + mem_s(c.bytes);
+  return c;
+}
+
+OpCost CostModel::sparsify_host(index_t nnz, int ratios_tried) const {
+  OpCost c;
+  const double n = static_cast<double>(nnz);
+  // Magnitude sort of the off-diagonals plus, per candidate ratio, one
+  // splitting pass and one wavefront (level-set) pass over the pattern.
+  const double compare_ops = n * std::max(1.0, std::log2(std::max(2.0, n)));
+  const double pass_ops = static_cast<double>(ratios_tried) * 4.0 * n;
+  c.flops = compare_ops + pass_ops;
+  c.bytes = (compare_ops + pass_ops) * index_bytes_;
+  c.seconds = flop_s(c.flops) + mem_s(c.bytes);
+  return c;
+}
+
+OpCost CostModel::pcg_iteration(const PcgIterationShape& s) const {
+  OpCost c;
+  c += spmv(s.n, s.a_nnz);
+  c += trisolve(s.lower);
+  c += trisolve(s.upper);
+  // BLAS-1 tail of Algorithm 1: alpha dot (2 vec), x update (3 vec),
+  // r update (3 vec), beta dot (2 vec), p update (3 vec), residual norm (1).
+  c += blas1(s.n, 2, 2);
+  c += blas1(s.n, 3, 2);
+  c += blas1(s.n, 3, 2);
+  c += blas1(s.n, 2, 2);
+  c += blas1(s.n, 3, 2);
+  c += blas1(s.n, 1, 2);
+  return c;
+}
+
+}  // namespace spcg

@@ -1,0 +1,51 @@
+// Device descriptions for the analytical execution model.
+//
+// No CUDA device exists in this environment, so the paper's A100/V100/EPYC
+// measurements are replaced by a calibrated cost model (see DESIGN.md §3).
+// A DeviceSpec captures the handful of architectural parameters the model
+// needs: how many rows a wavefront can process concurrently, sustained
+// memory bandwidth, arithmetic throughput, and the fixed cost of a kernel
+// launch / wavefront synchronization — the quantity sparsification attacks.
+#pragma once
+
+#include <string>
+
+namespace spcg {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Parallel structure.
+  double parallel_units = 1;     // SMs (GPU) or cores (CPU)
+  double rows_per_unit = 1;      // rows a unit can process concurrently
+                                 // (GPU: resident warps; CPU: 1)
+  // Throughput.
+  double peak_gflops = 1;        // sustained single-precision GFLOP/s
+  double dram_gbps = 1;          // sustained memory bandwidth, GB/s
+
+  // Latencies (microseconds).
+  double kernel_launch_us = 0;   // per kernel launch (GPU) / parallel region
+  double level_sync_us = 0;      // per wavefront barrier inside SpTRSV/ILU
+  double row_latency_us = 0;     // serial latency of one dependent row step
+
+  /// Rows that can execute concurrently within one wavefront.
+  [[nodiscard]] double concurrent_rows() const {
+    return parallel_units * rows_per_unit;
+  }
+};
+
+/// NVIDIA A100 (SXM4 40GB): 108 SMs, 1555 GB/s HBM2e.
+DeviceSpec device_a100();
+
+/// NVIDIA V100 (SXM2 16GB): 80 SMs, 900 GB/s HBM2.
+DeviceSpec device_v100();
+
+/// AMD EPYC 7413-class host as configured in the paper: 40 cores @ 2.65 GHz.
+DeviceSpec device_epyc7413();
+
+/// Host used for phases the paper runs on the CPU (sparsification analysis,
+/// SuperLU-style ILU(K) factorization). Same silicon as device_epyc7413 but
+/// modeled as a mostly-sequential pipeline with light threading.
+DeviceSpec device_host_cpu();
+
+}  // namespace spcg

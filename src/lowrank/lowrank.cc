@@ -1,0 +1,160 @@
+#include "lowrank/lowrank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace spcg {
+
+std::vector<double> dense_singular_values(std::vector<double> a, index_t m,
+                                          index_t n) {
+  SPCG_CHECK(m > 0 && n > 0);
+  SPCG_CHECK(a.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(n));
+  // One-sided Jacobi on columns: rotate column pairs until all are
+  // pairwise orthogonal; singular values are then the column norms.
+  auto col = [&](index_t j, index_t i) -> double& {
+    return a[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(j)];
+  };
+  const int max_sweeps = 30;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (index_t i = 0; i < m; ++i) {
+          app += col(p, i) * col(p, i);
+          aqq += col(q, i) * col(q, i);
+          apq += col(p, i) * col(q, i);
+        }
+        // Zero columns are already orthogonal to everything; skipping them
+        // also avoids a 0/0 in the rotation angle below.
+        if (app == 0.0 || aqq == 0.0) continue;
+        off = std::max(off, std::abs(apq) / std::sqrt(app * aqq));
+        if (std::abs(apq) < 1e-15 * std::sqrt(app * aqq)) continue;
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(1.0, tau) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (index_t i = 0; i < m; ++i) {
+          const double vp = col(p, i), vq = col(q, i);
+          col(p, i) = c * vp - s * vq;
+          col(q, i) = s * vp + c * vq;
+        }
+      }
+    }
+    if (off < 1e-12) break;
+  }
+  std::vector<double> sigma(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (index_t i = 0; i < m; ++i) acc += col(j, i) * col(j, i);
+    sigma[static_cast<std::size_t>(j)] = std::sqrt(acc);
+  }
+  std::sort(sigma.rbegin(), sigma.rend());
+  return sigma;
+}
+
+index_t numerical_rank(const std::vector<double>& s, double rel_tol,
+                       double abs_tol) {
+  if (s.empty()) return 0;
+  const double cutoff = std::max(abs_tol, rel_tol * s.front());
+  index_t rank = 0;
+  for (const double v : s) {
+    if (v > cutoff) ++rank;
+  }
+  return rank;
+}
+
+LowRankStudy analyze_factor_blocks(const Csr<double>& factor,
+                                   const LowRankOptions& opt) {
+  SPCG_CHECK(factor.rows == factor.cols);
+  SPCG_CHECK(opt.leaf_size > 1);
+  const index_t n = factor.rows;
+  const index_t tiles = (n + opt.leaf_size - 1) / opt.leaf_size;
+
+  LowRankStudy study;
+  double rank_fraction_sum = 0.0;
+
+  // Count nonzeros per strictly-lower tile first (cheap pass).
+  std::vector<index_t> tile_nnz(
+      static_cast<std::size_t>(tiles) * static_cast<std::size_t>(tiles), 0);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t ti = i / opt.leaf_size;
+    for (index_t p = factor.rowptr[static_cast<std::size_t>(i)];
+         p < factor.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const index_t j = factor.colind[static_cast<std::size_t>(p)];
+      const index_t tj = j / opt.leaf_size;
+      if (tj < ti)
+        ++tile_nnz[static_cast<std::size_t>(ti) * static_cast<std::size_t>(tiles) +
+                   static_cast<std::size_t>(tj)];
+    }
+  }
+
+  std::vector<double> block;
+  for (index_t ti = 1; ti < tiles; ++ti) {
+    for (index_t tj = 0; tj < ti; ++tj) {
+      ++study.blocks_total;
+      const index_t nnz =
+          tile_nnz[static_cast<std::size_t>(ti) * static_cast<std::size_t>(tiles) +
+                   static_cast<std::size_t>(tj)];
+      if (nnz == 0) continue;
+      ++study.blocks_nonempty;
+
+      const index_t i0 = ti * opt.leaf_size;
+      const index_t j0 = tj * opt.leaf_size;
+      const index_t bm = std::min(opt.leaf_size, n - i0);
+      const index_t bn = std::min(opt.leaf_size, n - j0);
+
+      // Densify the tile.
+      block.assign(static_cast<std::size_t>(bm) * static_cast<std::size_t>(bn),
+                   0.0);
+      index_t occupied_rows = 0;
+      for (index_t i = i0; i < i0 + bm; ++i) {
+        bool row_hit = false;
+        for (index_t p = factor.rowptr[static_cast<std::size_t>(i)];
+             p < factor.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+          const index_t j = factor.colind[static_cast<std::size_t>(p)];
+          if (j >= j0 && j < j0 + bn) {
+            block[static_cast<std::size_t>(i - i0) * static_cast<std::size_t>(bn) +
+                  static_cast<std::size_t>(j - j0)] =
+                factor.values[static_cast<std::size_t>(p)];
+            row_hit = true;
+          }
+        }
+        if (row_hit) ++occupied_rows;
+      }
+      // The "minimum separator size" analogue: tiny interfaces are not worth
+      // compressing (STRUMPACK skips them the same way).
+      if (occupied_rows < opt.min_separator &&
+          std::min(bm, bn) >= opt.min_separator)
+        continue;
+      if (std::min(bm, bn) < opt.min_separator) continue;
+      ++study.blocks_eligible;
+
+      const std::vector<double> sv = dense_singular_values(block, bm, bn);
+      const index_t rank = numerical_rank(sv, opt.rel_tol, opt.abs_tol);
+      const double size = static_cast<double>(std::min(bm, bn));
+      rank_fraction_sum += static_cast<double>(rank) / size;
+      study.stored_entries_dense += static_cast<double>(bm) * static_cast<double>(bn);
+      const double rank_storage =
+          static_cast<double>(rank) * static_cast<double>(bm + bn);
+      study.stored_entries_compressed += rank_storage;
+      // STRUMPACK-style trigger: the rank must be genuinely low AND the
+      // factorized form must beat the sparse storage the factor already
+      // uses. Incomplete factors keep tiles sparse, which is exactly why
+      // compression rarely pays off for them (paper SS4.6).
+      if (static_cast<double>(rank) <= opt.max_rank_fraction * size &&
+          rank_storage < static_cast<double>(nnz))
+        ++study.blocks_compressed;
+    }
+  }
+  if (study.blocks_eligible > 0)
+    study.avg_rank_fraction =
+        rank_fraction_sum / static_cast<double>(study.blocks_eligible);
+  return study;
+}
+
+}  // namespace spcg

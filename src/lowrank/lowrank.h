@@ -1,0 +1,60 @@
+// Simplified block low-rank analysis — the in-repo stand-in for the
+// STRUMPACK/HSS comparison of paper §4.6 (see DESIGN.md §3).
+//
+// STRUMPACK compresses off-diagonal blocks of frontal matrices when their
+// numerical rank at a given tolerance is low. The paper's finding is that
+// incomplete factors almost never expose such blocks. We reproduce that
+// finding directly: tile the factor's off-diagonal region into leaf_size
+// blocks, densify each candidate, measure its numerical rank with a Jacobi
+// SVD, and report how often compression would trigger (rank <= max_rank and
+// the block is big enough to be worth it — the "minimum separator size"
+// analogue).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace spcg {
+
+/// Singular values of a dense row-major m x n matrix (one-sided Jacobi).
+/// Returned in descending order. Intended for small blocks (m, n <= ~128).
+std::vector<double> dense_singular_values(std::vector<double> a, index_t m,
+                                          index_t n);
+
+/// Numerical rank: number of singular values > rel_tol * sigma_max
+/// (and > abs_tol).
+index_t numerical_rank(const std::vector<double>& singular_values,
+                       double rel_tol, double abs_tol);
+
+struct LowRankOptions {
+  index_t leaf_size = 32;       // tile edge
+  double rel_tol = 1e-2;        // STRUMPACK-style relative compression tol
+  double abs_tol = 1e-10;
+  index_t min_separator = 32;   // blocks with fewer nonzero rows/cols skipped
+  double max_rank_fraction = 0.5;  // compress when rank <= fraction * size
+};
+
+struct LowRankStudy {
+  index_t blocks_total = 0;      // candidate off-diagonal tiles examined
+  index_t blocks_nonempty = 0;   // tiles holding at least one nonzero
+  index_t blocks_eligible = 0;   // nonempty and >= min_separator occupancy
+  index_t blocks_compressed = 0; // low rank AND rank storage beats sparse
+  double avg_rank_fraction = 0.0;  // mean rank/size over eligible tiles
+  double stored_entries_dense = 0.0;      // dense storage of eligible tiles
+  double stored_entries_compressed = 0.0; // after rank-r factorized storage
+
+  [[nodiscard]] double trigger_rate() const {
+    return blocks_nonempty > 0
+               ? static_cast<double>(blocks_compressed) /
+                     static_cast<double>(blocks_nonempty)
+               : 0.0;
+  }
+};
+
+/// Analyze the strictly-lower off-diagonal tiles of a (factor) matrix.
+LowRankStudy analyze_factor_blocks(const Csr<double>& factor,
+                                   const LowRankOptions& opt = {});
+
+}  // namespace spcg

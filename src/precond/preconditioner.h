@@ -1,0 +1,124 @@
+// Preconditioner application interface used by the PCG solver (Algorithm 1,
+// line 13: z = M^{-1} r).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "precond/ilu.h"
+#include "sparse/csr.h"
+#include "sparse/ops.h"
+#include "sptrsv/sptrsv.h"
+#include "wavefront/levels.h"
+
+namespace spcg {
+
+/// Abstract preconditioner: solves M z = r.
+template <class T>
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void apply(std::span<const T> r, std::span<T> z) const = 0;
+  /// Rows of the system this preconditioner was built for.
+  [[nodiscard]] virtual index_t rows() const = 0;
+};
+
+/// M = I (plain CG).
+template <class T>
+class IdentityPreconditioner final : public Preconditioner<T> {
+ public:
+  explicit IdentityPreconditioner(index_t n) : n_(n) {}
+  void apply(std::span<const T> r, std::span<T> z) const override {
+    SPCG_CHECK(static_cast<index_t>(r.size()) == n_);
+    std::copy(r.begin(), r.end(), z.begin());
+  }
+  [[nodiscard]] index_t rows() const override { return n_; }
+
+ private:
+  index_t n_;
+};
+
+/// M = diag(A) (Jacobi).
+template <class T>
+class JacobiPreconditioner final : public Preconditioner<T> {
+ public:
+  explicit JacobiPreconditioner(const Csr<T>& a) : inv_diag_(diagonal(a)) {
+    for (T& d : inv_diag_) {
+      SPCG_CHECK_MSG(d != T{0}, "Jacobi preconditioner needs nonzero diagonal");
+      d = T{1} / d;
+    }
+  }
+  void apply(std::span<const T> r, std::span<T> z) const override {
+    SPCG_CHECK(r.size() == inv_diag_.size());
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
+  }
+  [[nodiscard]] index_t rows() const override {
+    return static_cast<index_t>(inv_diag_.size());
+  }
+
+ private:
+  std::vector<T> inv_diag_;
+};
+
+/// Execution strategy for the two triangular solves of an ILU apply.
+enum class TrsvExec {
+  kSerial,          // reference forward/backward substitution
+  kLevelScheduled,  // wavefront-parallel (OpenMP), cuSPARSE-style
+};
+
+/// M = L U from an incomplete factorization. Owns the split factors and
+/// their level schedules (built once at construction = the inspector phase).
+template <class T>
+class IluPreconditioner final : public Preconditioner<T> {
+ public:
+  IluPreconditioner(IluResult<T> fact, TrsvExec exec = TrsvExec::kSerial)
+      : exec_(exec), factors_(split_lu(fact)) {
+    l_sched_ = level_schedule(factors_.l, Triangle::kLower);
+    u_sched_ = level_schedule(factors_.u, Triangle::kUpper);
+    tmp_.resize(static_cast<std::size_t>(factors_.l.rows));
+  }
+
+  void apply(std::span<const T> r, std::span<T> z) const override {
+    std::span<T> y(tmp_);
+    if (exec_ == TrsvExec::kSerial) {
+      sptrsv_lower_serial(factors_.l, r, y);
+      sptrsv_upper_serial(factors_.u, std::span<const T>(tmp_), z);
+    } else {
+      sptrsv_lower_levels(factors_.l, l_sched_, r, y);
+      sptrsv_upper_levels(factors_.u, u_sched_, std::span<const T>(tmp_), z);
+    }
+  }
+
+  [[nodiscard]] index_t rows() const override { return factors_.l.rows; }
+  [[nodiscard]] const TriangularFactors<T>& factors() const { return factors_; }
+  [[nodiscard]] const LevelSchedule& lower_schedule() const { return l_sched_; }
+  [[nodiscard]] const LevelSchedule& upper_schedule() const { return u_sched_; }
+
+ private:
+  TrsvExec exec_;
+  TriangularFactors<T> factors_;
+  LevelSchedule l_sched_;
+  LevelSchedule u_sched_;
+  mutable std::vector<T> tmp_;  // intermediate y in L y = r, U z = y
+};
+
+/// Incomplete Cholesky IC(0) for SPD matrices, derived from ILU(0): when A is
+/// SPD and factorization does not break down, ILU(0) yields A ≈ L D L^T with
+/// U = D L^T, so M = L U equals the IC(0) product. This wrapper checks the
+/// positive-pivot requirement and reuses the ILU apply path.
+template <class T>
+std::unique_ptr<Preconditioner<T>> make_ic0(const Csr<T>& a,
+                                            TrsvExec exec = TrsvExec::kSerial) {
+  IluResult<T> f = ilu0(a);
+  for (index_t i = 0; i < a.rows; ++i) {
+    const T pivot = f.lu.values[static_cast<std::size_t>(
+        f.diag_pos[static_cast<std::size_t>(i)])];
+    SPCG_CHECK_MSG(pivot > T{0},
+                   "IC(0) requires positive pivots; row " << i << " has "
+                                                          << pivot);
+  }
+  return std::make_unique<IluPreconditioner<T>>(std::move(f), exec);
+}
+
+}  // namespace spcg

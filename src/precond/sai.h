@@ -1,0 +1,164 @@
+// Static-pattern sparse approximate inverse (SAI / SPAI) preconditioner.
+//
+// The other approximation family the paper discusses (§6.2, Chow 2001;
+// Anzt et al. 2016): instead of factoring A, directly compute a sparse M
+// approximating A^{-1} by minimizing ||e_i - A m_i||_2 per row over a fixed
+// sparsity pattern (here: the pattern of A, optionally of A^2). Applying M
+// is a single SpMV — *no triangular solves, no wavefronts at all* — which is
+// why SAI is attractive on GPUs; the trade-off is weaker convergence and the
+// assumption that A^{-1} has good sparse approximations at all.
+//
+// Implementation: for each row i with pattern J, the least-squares problem
+// involves the submatrix A(I, J) where I are the rows touched by columns J
+// (A is symmetric, so columns = rows). Solved densely via normal equations
+// with Cholesky — the blocks are tiny (|J| ~ row nnz).
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "precond/preconditioner.h"
+#include "sparse/csr.h"
+#include "sparse/ops.h"
+
+namespace spcg {
+
+struct SaiOptions {
+  /// Pattern: 0 = pattern of A (cheapest), 1 = pattern of A^2 (denser,
+  /// better approximation; "level 1" neighbor expansion).
+  int pattern_level = 0;
+  /// Tikhonov regularization for the tiny normal-equation solves.
+  double ridge = 1e-12;
+};
+
+namespace detail {
+
+/// Dense SPD solve via Cholesky, in place; g is n x n row-major, b length n.
+/// Returns false when the matrix is not numerically SPD.
+inline bool dense_spd_solve_inplace(std::vector<double>& g,
+                                    std::vector<double>& b, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = g[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) d -= g[j * n + k] * g[j * n + k];
+    if (!(d > 0.0)) return false;
+    const double ljj = std::sqrt(d);
+    g[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = g[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) v -= g[i * n + k] * g[j * n + k];
+      g[i * n + j] = v / ljj;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= g[i * n + k] * b[k];
+    b[i] = v / g[i * n + i];
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= g[k * n + ii] * b[k];
+    b[ii] = v / g[ii * n + ii];
+  }
+  return true;
+}
+
+/// Pattern of A (level 0) or A^2 (level 1) for row i, sorted.
+template <class T>
+std::vector<index_t> sai_pattern_row(const Csr<T>& a, index_t i, int level) {
+  std::vector<index_t> cols(a.row_cols(i).begin(), a.row_cols(i).end());
+  if (level >= 1) {
+    std::vector<index_t> expanded = cols;
+    for (const index_t j : cols) {
+      expanded.insert(expanded.end(), a.row_cols(j).begin(),
+                      a.row_cols(j).end());
+    }
+    std::sort(expanded.begin(), expanded.end());
+    expanded.erase(std::unique(expanded.begin(), expanded.end()),
+                   expanded.end());
+    return expanded;
+  }
+  return cols;
+}
+
+}  // namespace detail
+
+/// Build the SAI matrix M ~ A^{-1} for symmetric A. Row i of M minimizes
+/// ||e_i - A m_i|| over the chosen pattern (normal equations per row).
+template <class T>
+Csr<T> sai_inverse(const Csr<T>& a, const SaiOptions& opt = {}) {
+  SPCG_CHECK(a.rows == a.cols);
+  const index_t n = a.rows;
+  Csr<T> m(n, n);
+
+  std::vector<double> gram, rhs;
+  for (index_t i = 0; i < n; ++i) {
+    const std::vector<index_t> pattern =
+        detail::sai_pattern_row(a, i, opt.pattern_level);
+    const std::size_t k = pattern.size();
+    SPCG_CHECK_MSG(k > 0, "SAI: empty pattern at row " << i);
+
+    // Normal equations: (A(:,J)^T A(:,J) + ridge I) m = A(:,J)^T e_i.
+    // With symmetric A, column j of A is row j; the Gram entry (p, q) is the
+    // sparse dot of rows pattern[p] and pattern[q].
+    gram.assign(k * k, 0.0);
+    rhs.assign(k, 0.0);
+    for (std::size_t p = 0; p < k; ++p) {
+      const auto cols_p = a.row_cols(pattern[p]);
+      const auto vals_p = a.row_vals(pattern[p]);
+      for (std::size_t q = p; q < k; ++q) {
+        // Sparse dot of two sorted rows.
+        const auto cols_q = a.row_cols(pattern[q]);
+        const auto vals_q = a.row_vals(pattern[q]);
+        double acc = 0.0;
+        std::size_t x = 0, y = 0;
+        while (x < cols_p.size() && y < cols_q.size()) {
+          if (cols_p[x] == cols_q[y]) {
+            acc += static_cast<double>(vals_p[x]) *
+                   static_cast<double>(vals_q[y]);
+            ++x;
+            ++y;
+          } else if (cols_p[x] < cols_q[y]) {
+            ++x;
+          } else {
+            ++y;
+          }
+        }
+        gram[p * k + q] = acc;
+        gram[q * k + p] = acc;
+      }
+      gram[p * k + p] += opt.ridge;
+      // (A(:,J)^T e_i)_p = A(i, pattern[p]).
+      rhs[p] = static_cast<double>(a.at(i, pattern[p]));
+    }
+    SPCG_CHECK_MSG(detail::dense_spd_solve_inplace(gram, rhs, k),
+                   "SAI normal equations not SPD at row " << i);
+
+    for (std::size_t p = 0; p < k; ++p) {
+      m.colind.push_back(pattern[p]);
+      m.values.push_back(static_cast<T>(rhs[p]));
+    }
+    m.rowptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<index_t>(m.colind.size());
+  }
+  return m;
+}
+
+/// Preconditioner wrapper: z = M r is one SpMV (wavefront-free).
+template <class T>
+class SaiPreconditioner final : public Preconditioner<T> {
+ public:
+  explicit SaiPreconditioner(const Csr<T>& a, const SaiOptions& opt = {})
+      : m_(sai_inverse(a, opt)) {}
+
+  void apply(std::span<const T> r, std::span<T> z) const override {
+    spmv(m_, r, z);
+  }
+  [[nodiscard]] index_t rows() const override { return m_.rows; }
+  [[nodiscard]] const Csr<T>& matrix() const { return m_; }
+
+ private:
+  Csr<T> m_;
+};
+
+}  // namespace spcg

@@ -1,0 +1,132 @@
+// Lanczos estimation of extreme eigenvalues and condition number for
+// symmetric matrices. Used by the "exact condition number" ablation
+// (paper §3.2.3) and the condition-number analysis (§5.4).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sparse/csr.h"
+#include "sparse/norms.h"
+#include "sparse/ops.h"
+#include "support/rng.h"
+
+namespace spcg {
+
+struct EigEstimate {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  [[nodiscard]] double condition_number() const {
+    return lambda_min > 0.0 ? lambda_max / lambda_min
+                            : std::numeric_limits<double>::infinity();
+  }
+};
+
+namespace detail {
+
+/// Eigenvalues of a symmetric tridiagonal matrix via implicit QL with Wilkinson
+/// shifts (tql2 without eigenvectors). diag/offdiag are modified in place;
+/// returns the sorted eigenvalues.
+inline std::vector<double> tridiag_eigenvalues(std::vector<double> d,
+                                               std::vector<double> e) {
+  const std::size_t n = d.size();
+  if (n == 0) return {};
+  e.push_back(0.0);  // e[i] couples d[i] and d[i+1]; sentinel at the end
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iter = 0;
+    while (true) {
+      std::size_t m = l;
+      for (; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m == l) break;
+      if (++iter > 50) break;  // degrade gracefully on pathological input
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0, c = 1.0, p = 0.0;
+      for (std::size_t i = m; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+      }
+      if (r == 0.0 && m > l + 1) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+}  // namespace detail
+
+/// Estimate the extreme eigenvalues of symmetric A with `steps` Lanczos
+/// iterations (full reorthogonalization, so `steps` should stay modest).
+template <class T>
+EigEstimate lanczos_extreme_eigenvalues(const Csr<T>& a, int steps = 60,
+                                        std::uint64_t seed = 12345) {
+  SPCG_CHECK(a.rows == a.cols);
+  const auto n = static_cast<std::size_t>(a.rows);
+  const int m = std::min<int>(steps, a.rows);
+  SPCG_CHECK(m >= 1);
+
+  Rng rng(seed);
+  std::vector<std::vector<double>> basis;
+  basis.reserve(static_cast<std::size_t>(m));
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal();
+  const double v0n = norm2(std::span<const double>(v));
+  for (double& x : v) x /= v0n;
+
+  std::vector<double> alpha, beta;
+  std::vector<double> w(n), av(n);
+  std::vector<T> vt(n), avt(n);
+
+  for (int j = 0; j < m; ++j) {
+    basis.push_back(v);
+    for (std::size_t i = 0; i < n; ++i) vt[i] = static_cast<T>(v[i]);
+    spmv(a, std::span<const T>(vt), std::span<T>(avt));
+    for (std::size_t i = 0; i < n; ++i) av[i] = static_cast<double>(avt[i]);
+
+    const double aj = dot(std::span<const double>(v), std::span<const double>(av));
+    alpha.push_back(aj);
+    w = av;
+    // Full reorthogonalization against the whole basis for stability.
+    for (const auto& q : basis) {
+      const double proj = dot(std::span<const double>(w), std::span<const double>(q));
+      axpy(-proj, std::span<const double>(q), std::span<double>(w));
+    }
+    const double bj = norm2(std::span<const double>(w));
+    if (bj < 1e-14 || j == m - 1) break;
+    beta.push_back(bj);
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / bj;
+  }
+
+  const std::vector<double> evals =
+      detail::tridiag_eigenvalues(alpha, beta);
+  EigEstimate est;
+  if (!evals.empty()) {
+    est.lambda_min = evals.front();
+    est.lambda_max = evals.back();
+  }
+  return est;
+}
+
+}  // namespace spcg

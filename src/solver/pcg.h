@@ -1,0 +1,140 @@
+// Conjugate gradient solvers.
+//
+// pcg() is the left-preconditioned CG of the paper's Algorithm 1, with the
+// same control flow: residual check at the top of the loop, preconditioner
+// application once per iteration, and a maximum-iteration cap. cg() is the
+// unpreconditioned special case.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "precond/preconditioner.h"
+#include "sparse/csr.h"
+#include "sparse/norms.h"
+#include "sparse/ops.h"
+
+namespace spcg {
+
+/// Solver configuration (paper defaults: tol 1e-12, 1000 iterations).
+struct PcgOptions {
+  double tolerance = 1e-12;   // convergence when ||r|| < tolerance
+  bool relative = false;      // if set, compare against tolerance * ||b||
+  std::int32_t max_iterations = 1000;
+  bool record_history = false;  // keep ||r|| per iteration
+};
+
+enum class SolveStatus {
+  kConverged,
+  kMaxIterations,
+  kBreakdown,  // division by (numerically) zero curvature or rho
+};
+
+/// Result of a CG/PCG run.
+template <class T>
+struct SolveResult {
+  std::vector<T> x;
+  SolveStatus status = SolveStatus::kMaxIterations;
+  std::int32_t iterations = 0;        // iterations actually performed
+  double final_residual_norm = 0.0;   // ||b - A x||_2 at exit (recomputed)
+  std::vector<double> residual_history;  // when record_history
+
+  [[nodiscard]] bool converged() const {
+    return status == SolveStatus::kConverged;
+  }
+};
+
+/// Left-preconditioned conjugate gradient (Algorithm 1 of the paper).
+template <class T>
+SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
+                   const Preconditioner<T>& m, const PcgOptions& opt = {}) {
+  SPCG_CHECK(a.rows == a.cols);
+  SPCG_CHECK(static_cast<index_t>(b.size()) == a.rows);
+  SPCG_CHECK(m.rows() == a.rows);
+  const auto n = static_cast<std::size_t>(a.rows);
+
+  SolveResult<T> res;
+  res.x.assign(n, T{0});  // x0 = 0
+
+  std::vector<T> r(b.begin(), b.end());  // r0 = b - A*0 = b
+  std::vector<T> z(n), p(n), w(n);
+  m.apply(r, std::span<T>(z));
+  p = z;
+
+  T rz = dot(std::span<const T>(r), std::span<const T>(z));
+  const double b_norm = static_cast<double>(norm2(std::span<const T>(b)));
+  const double target =
+      opt.relative ? opt.tolerance * (b_norm > 0.0 ? b_norm : 1.0)
+                   : opt.tolerance;
+
+  double r_norm = static_cast<double>(norm2(std::span<const T>(r)));
+  if (opt.record_history) res.residual_history.push_back(r_norm);
+
+  std::int32_t k = 0;
+  for (; k < opt.max_iterations; ++k) {
+    if (r_norm < target) {
+      res.status = SolveStatus::kConverged;
+      break;
+    }
+    spmv(a, std::span<const T>(p), std::span<T>(w));
+    const T pw = dot(std::span<const T>(p), std::span<const T>(w));
+    if (!(pw > T{0})) {  // SPD curvature must be positive; catches NaN too
+      res.status = SolveStatus::kBreakdown;
+      break;
+    }
+    const T alpha = rz / pw;
+    axpy(alpha, std::span<const T>(p), std::span<T>(res.x));
+    axpy(-alpha, std::span<const T>(w), std::span<T>(r));
+    m.apply(r, std::span<T>(z));
+    const T rz_next = dot(std::span<const T>(r), std::span<const T>(z));
+    if (rz == T{0} || rz_next != rz_next) {  // NaN guard
+      res.status = SolveStatus::kBreakdown;
+      ++k;
+      break;
+    }
+    const T beta = rz_next / rz;
+    rz = rz_next;
+    xpby(std::span<const T>(z), beta, std::span<T>(p));
+    r_norm = static_cast<double>(norm2(std::span<const T>(r)));
+    if (opt.record_history) res.residual_history.push_back(r_norm);
+  }
+  if (res.status == SolveStatus::kMaxIterations && r_norm < target)
+    res.status = SolveStatus::kConverged;
+
+  res.iterations = k;
+  // Recompute the true residual (the recurrence can drift).
+  std::vector<T> ax(n);
+  spmv(a, std::span<const T>(res.x), std::span<T>(ax));
+  double true_norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(b[i]) - static_cast<double>(ax[i]);
+    true_norm += d * d;
+  }
+  res.final_residual_norm = std::sqrt(true_norm);
+  return res;
+}
+
+/// Unpreconditioned CG.
+template <class T>
+SolveResult<T> cg(const Csr<T>& a, std::span<const T> b,
+                  const PcgOptions& opt = {}) {
+  IdentityPreconditioner<T> identity(a.rows);
+  return pcg(a, b, identity, opt);
+}
+
+/// Vector-argument conveniences (span<const T> cannot be deduced from
+/// std::vector<T> in template argument deduction).
+template <class T>
+SolveResult<T> pcg(const Csr<T>& a, const std::vector<T>& b,
+                   const Preconditioner<T>& m, const PcgOptions& opt = {}) {
+  return pcg(a, std::span<const T>(b), m, opt);
+}
+
+template <class T>
+SolveResult<T> cg(const Csr<T>& a, const std::vector<T>& b,
+                  const PcgOptions& opt = {}) {
+  return cg(a, std::span<const T>(b), opt);
+}
+
+}  // namespace spcg

@@ -1,0 +1,60 @@
+// Coordinate (COO) sparse format: the assembly-friendly sibling of CSR.
+// Used as the interchange format for IO and incremental construction;
+// convert to CSR (which every algorithm in src/ operates on) when done.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace spcg {
+
+/// COO matrix. Entries may be unsorted and may contain duplicates (which
+/// sum on conversion to CSR) — the natural state during FEM-style assembly.
+template <class T>
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<Triplet<T>> entries;
+
+  Coo() = default;
+  Coo(index_t r, index_t c) : rows(r), cols(c) {}
+
+  [[nodiscard]] std::size_t nnz_stored() const { return entries.size(); }
+
+  /// Append one entry (bounds-checked).
+  void add(index_t i, index_t j, T v) {
+    SPCG_CHECK_MSG(i >= 0 && i < rows && j >= 0 && j < cols,
+                   "COO entry (" << i << "," << j << ") out of range");
+    entries.push_back({i, j, v});
+  }
+
+  /// Append a symmetric pair (i,j) and (j,i); a diagonal entry once.
+  void add_symmetric(index_t i, index_t j, T v) {
+    add(i, j, v);
+    if (i != j) add(j, i, v);
+  }
+};
+
+/// COO -> CSR (duplicates summed, columns sorted).
+template <class T>
+Csr<T> coo_to_csr(const Coo<T>& coo) {
+  return csr_from_triplets(coo.rows, coo.cols, coo.entries);
+}
+
+/// CSR -> COO (row-major entry order, no duplicates).
+template <class T>
+Coo<T> csr_to_coo(const Csr<T>& a) {
+  Coo<T> coo(a.rows, a.cols);
+  coo.entries.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.rowptr[static_cast<std::size_t>(i)];
+         p < a.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      coo.entries.push_back({i, a.colind[static_cast<std::size_t>(p)],
+                             a.values[static_cast<std::size_t>(p)]});
+    }
+  }
+  return coo;
+}
+
+}  // namespace spcg

@@ -1,0 +1,24 @@
+// Matrix Market (.mtx) reader/writer for coordinate real matrices.
+//
+// Supports `general` and `symmetric` coordinate files; symmetric files are
+// expanded to full storage on read. Writing always emits `general` format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.h"
+
+namespace spcg {
+
+/// Read a Matrix Market coordinate file into CSR (double precision).
+Csr<double> read_matrix_market(const std::string& path);
+
+/// Stream-based variant, useful for tests.
+Csr<double> read_matrix_market(std::istream& in);
+
+/// Write a CSR matrix to a Matrix Market coordinate file (general format).
+void write_matrix_market(const Csr<double>& a, const std::string& path);
+void write_matrix_market(const Csr<double>& a, std::ostream& out);
+
+}  // namespace spcg

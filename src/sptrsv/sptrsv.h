@@ -1,0 +1,120 @@
+// Sparse triangular solvers (SpTRSV): the executor half of the
+// inspector–executor scheme.
+//
+// Two executors are provided:
+//   * serial forward/backward substitution (reference),
+//   * level-scheduled parallel substitution (OpenMP): rows within a
+//     wavefront run in parallel, with an implicit barrier between levels —
+//     the same execution structure as cuSPARSE's csrsv2 on the GPU.
+//
+// Factors follow the split_lu() convention: L is unit-lower with the unit
+// diagonal stored, U is upper with its diagonal stored.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.h"
+#include "wavefront/levels.h"
+
+namespace spcg {
+
+/// Solve L x = b, L lower triangular with stored diagonal. x may alias b.
+template <class T>
+void sptrsv_lower_serial(const Csr<T>& l, std::span<const T> b,
+                         std::span<T> x) {
+  SPCG_CHECK(l.rows == l.cols);
+  SPCG_CHECK(static_cast<index_t>(b.size()) == l.rows);
+  SPCG_CHECK(static_cast<index_t>(x.size()) == l.rows);
+  for (index_t i = 0; i < l.rows; ++i) {
+    T acc = b[static_cast<std::size_t>(i)];
+    T diag{0};
+    for (index_t p = l.rowptr[static_cast<std::size_t>(i)];
+         p < l.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const index_t j = l.colind[static_cast<std::size_t>(p)];
+      if (j < i)
+        acc -= l.values[static_cast<std::size_t>(p)] *
+               x[static_cast<std::size_t>(j)];
+      else if (j == i)
+        diag = l.values[static_cast<std::size_t>(p)];
+    }
+    SPCG_CHECK_MSG(diag != T{0}, "zero diagonal at row " << i);
+    x[static_cast<std::size_t>(i)] = acc / diag;
+  }
+}
+
+/// Solve U x = b, U upper triangular with stored diagonal. x may alias b.
+template <class T>
+void sptrsv_upper_serial(const Csr<T>& u, std::span<const T> b,
+                         std::span<T> x) {
+  SPCG_CHECK(u.rows == u.cols);
+  SPCG_CHECK(static_cast<index_t>(b.size()) == u.rows);
+  SPCG_CHECK(static_cast<index_t>(x.size()) == u.rows);
+  for (index_t i = u.rows - 1; i >= 0; --i) {
+    T acc = b[static_cast<std::size_t>(i)];
+    T diag{0};
+    for (index_t p = u.rowptr[static_cast<std::size_t>(i)];
+         p < u.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const index_t j = u.colind[static_cast<std::size_t>(p)];
+      if (j > i)
+        acc -= u.values[static_cast<std::size_t>(p)] *
+               x[static_cast<std::size_t>(j)];
+      else if (j == i)
+        diag = u.values[static_cast<std::size_t>(p)];
+    }
+    SPCG_CHECK_MSG(diag != T{0}, "zero diagonal at row " << i);
+    x[static_cast<std::size_t>(i)] = acc / diag;
+  }
+}
+
+namespace detail {
+
+template <class T, bool kLowerTri>
+void sptrsv_level_scheduled(const Csr<T>& m, const LevelSchedule& sched,
+                            std::span<const T> b, std::span<T> x) {
+  SPCG_CHECK(m.rows == m.cols);
+  SPCG_CHECK(static_cast<index_t>(b.size()) == m.rows);
+  SPCG_CHECK(static_cast<index_t>(x.size()) == m.rows);
+  SPCG_CHECK(static_cast<index_t>(sched.level_of_row.size()) == m.rows);
+  for (index_t l = 0; l < sched.num_levels(); ++l) {
+    const index_t begin = sched.level_ptr[static_cast<std::size_t>(l)];
+    const index_t end = sched.level_ptr[static_cast<std::size_t>(l) + 1];
+#pragma omp parallel for schedule(static)
+    for (index_t s = begin; s < end; ++s) {
+      const index_t i = sched.rows_by_level[static_cast<std::size_t>(s)];
+      T acc = b[static_cast<std::size_t>(i)];
+      T diag{0};
+      for (index_t p = m.rowptr[static_cast<std::size_t>(i)];
+           p < m.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+        const index_t j = m.colind[static_cast<std::size_t>(p)];
+        const bool dep = kLowerTri ? (j < i) : (j > i);
+        if (dep)
+          acc -= m.values[static_cast<std::size_t>(p)] *
+                 x[static_cast<std::size_t>(j)];
+        else if (j == i)
+          diag = m.values[static_cast<std::size_t>(p)];
+      }
+      x[static_cast<std::size_t>(i)] = acc / diag;
+    }
+    // Implicit omp barrier at the end of each level's parallel region.
+  }
+}
+
+}  // namespace detail
+
+/// Level-scheduled lower solve. `sched` must be level_schedule(l, kLower).
+/// x must not alias b (rows of one level read b while others write x).
+template <class T>
+void sptrsv_lower_levels(const Csr<T>& l, const LevelSchedule& sched,
+                         std::span<const T> b, std::span<T> x) {
+  detail::sptrsv_level_scheduled<T, true>(l, sched, b, x);
+}
+
+/// Level-scheduled upper solve. `sched` must be level_schedule(u, kUpper).
+template <class T>
+void sptrsv_upper_levels(const Csr<T>& u, const LevelSchedule& sched,
+                         std::span<const T> b, std::span<T> x) {
+  detail::sptrsv_level_scheduled<T, false>(u, sched, b, x);
+}
+
+}  // namespace spcg

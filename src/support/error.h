@@ -1,0 +1,50 @@
+// Error handling for the SPCG library.
+//
+// All invariant violations throw spcg::Error with a message that carries the
+// failing expression and source location. Library code never calls abort();
+// callers (tests, benches, solvers over many matrices) are expected to catch
+// and continue with the next input.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spcg {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SPCG_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace spcg
+
+/// Check a precondition; throws spcg::Error when `expr` is false.
+#define SPCG_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::spcg::detail::raise_check_failure(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// Check with an explanatory message (streamed, e.g. SPCG_CHECK_MSG(a<b, "a=" << a)).
+#define SPCG_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream spcg_check_os_;                                     \
+      spcg_check_os_ << msg;                                                 \
+      ::spcg::detail::raise_check_failure(#expr, __FILE__, __LINE__,         \
+                                          spcg_check_os_.str());             \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,54 @@
+// Deterministic random number generation for the synthetic matrix suite.
+//
+// Everything in the generator suite must be reproducible across platforms and
+// standard-library versions, so we implement the distributions ourselves on
+// top of xoshiro256** rather than relying on std::*_distribution (whose
+// output is implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spcg {
+
+/// xoshiro256** PRNG (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { seed_state(seed); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Log-normal with given log-space mean/sigma: exp(mu + sigma * N(0,1)).
+  double lognormal(double mu, double sigma);
+
+  /// Heavy-tailed positive sample: Pareto with shape `alpha`, scale 1.
+  double pareto(double alpha);
+
+  /// Fisher–Yates shuffle of an index vector.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  void seed_state(std::uint64_t seed);
+  std::uint64_t s_[4];
+};
+
+}  // namespace spcg

@@ -1,0 +1,137 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace spcg {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double geometric_mean(std::span<const double> xs) {
+  SPCG_CHECK(!xs.empty());
+  double log_sum = 0.0;
+  for (double x : xs) {
+    SPCG_CHECK_MSG(x > 0.0, "geometric_mean requires positive values, got " << x);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  SPCG_CHECK(!xs.empty());
+  SPCG_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double fraction_above(std::span<const double> xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  const auto count = std::count_if(xs.begin(), xs.end(),
+                                   [=](double x) { return x > threshold; });
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  SPCG_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> average_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Ties i..j share the average of ranks i+1 .. j+1.
+    const double avg = 0.5 * static_cast<double>(i + 1 + j + 1);
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  SPCG_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const std::vector<double> rx = average_ranks(xs);
+  const std::vector<double> ry = average_ranks(ys);
+  return pearson(rx, ry);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  SPCG_CHECK(xs.size() == ys.size());
+  LinearFit fit;
+  if (xs.size() < 2) return fit;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins, bool as_percent) {
+  SPCG_CHECK(bins > 0 && hi > lo);
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.bin_width = (hi - lo) / static_cast<double>(bins);
+  h.counts.assign(bins, 0.0);
+  for (double x : xs) {
+    auto bin = static_cast<long>((x - lo) / h.bin_width);
+    bin = std::clamp(bin, 0L, static_cast<long>(bins) - 1);
+    h.counts[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  if (as_percent && !xs.empty()) {
+    for (double& c : h.counts) c *= 100.0 / static_cast<double>(xs.size());
+  }
+  return h;
+}
+
+}  // namespace spcg

@@ -1,0 +1,58 @@
+// Summary statistics used throughout the benchmark harness: geometric means,
+// percentiles, histograms, rank correlation and least-squares trendlines.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spcg {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(std::span<const double> xs);
+
+/// Geometric mean of strictly positive values; throws on non-positive input.
+double geometric_mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 when n < 2.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Fraction (0..1) of values strictly greater than `threshold`.
+double fraction_above(std::span<const double> xs, double threshold);
+
+/// Pearson correlation coefficient; 0 when either side has zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation with average-rank tie handling.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Ordinary least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped to the
+/// first/last bin. Bin counts are returned as percentages of the total when
+/// `as_percent` is set.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  double bin_width = 0.0;
+  std::vector<double> counts;  // size == bins
+};
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins, bool as_percent);
+
+/// Average ranks (1-based) with ties sharing the mean rank.
+std::vector<double> average_ranks(std::span<const double> xs);
+
+}  // namespace spcg

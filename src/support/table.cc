@@ -1,0 +1,101 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace spcg {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    SPCG_CHECK_MSG(row.size() == header_.size(),
+                   "row has " << row.size() << " cells, header has "
+                              << header_.size());
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string TextTable::render_tsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << '\t';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction01, int precision) {
+  return fmt(fraction01 * 100.0, precision) + "%";
+}
+
+std::string fmt_speedup(double v, int precision) {
+  return fmt(v, precision) + "x";
+}
+
+std::string render_histogram(const Histogram& h, const std::string& unit,
+                             int bar_width) {
+  double max_count = 0.0;
+  for (double c : h.counts) max_count = std::max(max_count, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    const double lo = h.lo + h.bin_width * static_cast<double>(b);
+    const double hi = lo + h.bin_width;
+    const int bar =
+        max_count > 0.0
+            ? static_cast<int>(std::lround(h.counts[b] / max_count *
+                                           static_cast<double>(bar_width)))
+            : 0;
+    os << '[' << fmt(lo, 2) << ',' << fmt(hi, 2) << ") "
+       << std::string(static_cast<std::size_t>(bar), '#')
+       << std::string(static_cast<std::size_t>(bar_width - bar), ' ') << ' '
+       << fmt(h.counts[b], 2) << unit << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace spcg

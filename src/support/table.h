@@ -1,0 +1,47 @@
+// Plain-text table and histogram rendering for the benchmark harness.
+//
+// Every bench binary regenerates a table or figure from the paper; these
+// helpers keep that output aligned, parseable (TSV block follows each pretty
+// table) and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace spcg {
+
+/// Column-aligned table. Add a header once, then rows; render() pads cells.
+class TextTable {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Pretty-printed, column-aligned rendering.
+  [[nodiscard]] std::string render() const;
+
+  /// Tab-separated rendering (machine readable).
+  [[nodiscard]] std::string render_tsv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string fmt(double v, int precision = 3);
+
+/// Format as a percentage string, e.g. "69.16%".
+std::string fmt_percent(double fraction01, int precision = 2);
+
+/// Format as a speedup string, e.g. "1.23x".
+std::string fmt_speedup(double v, int precision = 2);
+
+/// Render a histogram as rows of "[lo,hi) <bar> value" lines.
+std::string render_histogram(const Histogram& h, const std::string& unit,
+                             int bar_width = 40);
+
+}  // namespace spcg

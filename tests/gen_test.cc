@@ -1,0 +1,263 @@
+// Tests for the synthetic matrix generators and the 107-matrix suite.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/suite.h"
+#include "core/sparsify.h"
+#include "wavefront/levels.h"
+#include "solver/lanczos.h"
+#include "sparse/norms.h"
+#include "sparse/ops.h"
+
+namespace spcg {
+namespace {
+
+TEST(Generators, Poisson2dStructure) {
+  const Csr<double> a = gen_poisson2d(4, 3);
+  a.validate();
+  EXPECT_EQ(a.rows, 12);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 4), -1.0);  // north neighbor (y+1)
+  EXPECT_DOUBLE_EQ(a.at(0, 5), 0.0);   // no diagonal coupling
+  EXPECT_TRUE(is_symmetric(a));
+  EXPECT_TRUE(is_diagonally_dominant(a));
+}
+
+TEST(Generators, Poisson3dStructure) {
+  const Csr<double> a = gen_poisson3d(3, 3, 3);
+  a.validate();
+  EXPECT_EQ(a.rows, 27);
+  EXPECT_DOUBLE_EQ(a.at(13, 13), 6.0);  // center cell has 6 neighbors
+  EXPECT_EQ(a.rowptr[14] - a.rowptr[13], 7);
+  EXPECT_TRUE(is_symmetric(a));
+}
+
+TEST(Generators, AnisotropicWeightsAxes) {
+  const Csr<double> a = gen_anisotropic2d(5, 5, 0.01);
+  EXPECT_DOUBLE_EQ(a.at(12, 11), -0.01);  // x-neighbor gets eps
+  EXPECT_DOUBLE_EQ(a.at(12, 7), -1.0);    // y-neighbor gets 1
+  EXPECT_TRUE(is_symmetric(a));
+}
+
+TEST(Generators, ElasticityIsSymmetricSpd) {
+  const Csr<double> a = gen_elasticity2d(8, 8, 1.0, 0.3);
+  a.validate();
+  EXPECT_EQ(a.rows, 2 * (8 * 9));  // (nx)*(ny+1) free nodes, 2 dof each
+  EXPECT_TRUE(is_symmetric(a, 1e-12));
+  EXPECT_TRUE(has_positive_diagonal(a));
+  const EigEstimate e = lanczos_extreme_eigenvalues(a, 60);
+  EXPECT_GT(e.lambda_min, 0.0) << "elasticity stiffness must be SPD";
+}
+
+TEST(Generators, NormalEquationsIsSpd) {
+  const Csr<double> a = gen_normal_equations(200, 400, 5, 1.0, 3);
+  a.validate();
+  EXPECT_TRUE(is_symmetric(a, 1e-12));
+  const EigEstimate e = lanczos_extreme_eigenvalues(a, 60);
+  EXPECT_GE(e.lambda_min, 0.5);  // >= delta up to estimator slack
+}
+
+TEST(Generators, EconomicRowSumsBounded) {
+  const Csr<double> a = gen_economic(300, 8, 0.9, 5);
+  EXPECT_TRUE(is_symmetric(a, 1e-12));
+  EXPECT_TRUE(is_diagonally_dominant(a));
+}
+
+TEST(Generators, HeavyTailFamiliesHaveWideMagnitudeSpread) {
+  // Circuit/materials magnitudes must span orders of magnitude — that is
+  // what makes magnitude-based sparsification nearly free for them.
+  for (const Csr<double>& a : {gen_grid_laplacian(20, 20, 2.2, 0.3, 1),
+                               gen_lattice3d(8, 8, 8, 1.0, 2)}) {
+    double lo = std::numeric_limits<double>::infinity(), hi = 0.0;
+    for (index_t i = 0; i < a.rows; ++i) {
+      const auto cols_i = a.row_cols(i);
+      const auto vals_i = a.row_vals(i);
+      for (std::size_t p = 0; p < cols_i.size(); ++p) {
+        if (cols_i[p] == i) continue;
+        lo = std::min(lo, std::abs(vals_i[p]));
+        hi = std::max(hi, std::abs(vals_i[p]));
+      }
+    }
+    EXPECT_GT(hi / lo, 100.0);
+  }
+}
+
+TEST(Generators, ChainWithSkipsWavefrontStructure) {
+  // The weak chain forces n wavefronts; dropping it collapses to ~stride.
+  const Csr<double> a = gen_chain_with_skips(200, 4, 1e-5, 1.0, 7);
+  EXPECT_EQ(count_wavefronts(a), 200);
+  const Csr<double> nochain = drop_small(a, 1e-3);
+  EXPECT_LT(count_wavefronts(nochain), 60);
+}
+
+TEST(Generators, Kernel2dStructure) {
+  const Csr<double> a = gen_kernel2d(20, 18, 3.0, 0.8, true, 7);
+  a.validate();
+  EXPECT_EQ(a.rows, 360);
+  EXPECT_TRUE(is_symmetric(a, 1e-12));
+  EXPECT_TRUE(has_positive_diagonal(a));
+  // Couplings reach beyond nearest neighbors but not past the radius.
+  bool long_range = false;
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (const index_t j : a.row_cols(i)) {
+      if (i == j) continue;
+      const index_t dx = std::abs(i % 20 - j % 20);
+      const index_t dy = std::abs(i / 20 - j / 20);
+      EXPECT_LE(dx * dx + dy * dy, 9);
+      if (dx * dx + dy * dy > 2) long_range = true;
+    }
+  }
+  EXPECT_TRUE(long_range);
+}
+
+TEST(Generators, Kernel2dOscillatoryNearDiagonalIsWeak) {
+  // The Helmholtz-like kernel peaks mid-radius: distance-1 couplings (the
+  // wavefront carriers) are among the smallest — dropping 10% cuts depth.
+  const Csr<double> a = gen_kernel2d(40, 40, 3.2, 0.9, true, 101);
+  const index_t w0 = count_wavefronts(a);
+  const SparsifySplit<double> s = sparsify_by_ratio(a, 10.0);
+  EXPECT_LT(count_wavefronts(s.a_hat), w0);
+}
+
+TEST(Generators, MakeRhsIsNormalizedAndDeterministic) {
+  const Csr<double> a = gen_poisson2d(10, 10);
+  const std::vector<double> b1 = make_rhs(a, 42);
+  const std::vector<double> b2 = make_rhs(a, 42);
+  EXPECT_EQ(b1, b2);
+  EXPECT_NEAR(norm2(std::span<const double>(b1)), 1.0, 1e-12);
+  const std::vector<double> b3 = make_rhs(a, 43);
+  EXPECT_NE(b1, b3);
+}
+
+TEST(Generators, InvalidArgumentsThrow) {
+  EXPECT_THROW(gen_poisson2d(0, 3), Error);
+  EXPECT_THROW(gen_anisotropic2d(4, 4, 0.0), Error);
+  EXPECT_THROW(gen_economic(10, 2, 1.5, 0), Error);
+  EXPECT_THROW(gen_elasticity2d(4, 4, 1.0, 0.5), Error);
+  EXPECT_THROW(gen_chain_with_skips(10, 1, 0.1, 0.1, 0), Error);
+}
+
+TEST(Suite, Has107MatricesIn17Categories) {
+  EXPECT_EQ(suite_size(), 107);
+  EXPECT_EQ(suite_specs().size(), 107u);
+  EXPECT_EQ(suite_categories().size(), 17u);
+  // Ids are dense and names unique.
+  std::vector<std::string> names;
+  for (const MatrixSpec& s : suite_specs()) {
+    EXPECT_EQ(s.id, static_cast<index_t>(&s - suite_specs().data()));
+    names.push_back(s.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(Suite, OutOfRangeIdThrows) {
+  EXPECT_THROW(generate_suite_matrix(-1), Error);
+  EXPECT_THROW(generate_suite_matrix(suite_size()), Error);
+}
+
+TEST(Suite, GenerationIsDeterministic) {
+  const GeneratedMatrix g1 = generate_suite_matrix(13);
+  const GeneratedMatrix g2 = generate_suite_matrix(13);
+  EXPECT_EQ(g1.a.values, g2.a.values);
+  EXPECT_EQ(g1.b, g2.b);
+}
+
+
+// --- category-mechanism properties (the structures DESIGN.md §3.1 relies on)
+
+TEST(Mechanisms, CircuitChannelsAreFullWidthAndWeak) {
+  // ~8% of horizontal grid lines carry vertical wires ~3 decades weaker;
+  // verify at least one full-width weak channel row exists.
+  const index_t nx = 40, ny = 40;
+  const Csr<double> a = gen_grid_laplacian(nx, ny, 2.0, 0.5, 201);
+  int full_channels = 0;
+  for (index_t y = 0; y + 1 < ny; ++y) {
+    bool all_weak = true;
+    double max_v = 0.0;
+    for (index_t x = 0; x < nx; ++x) {
+      const double v = std::abs(a.at(y * nx + x, (y + 1) * nx + x));
+      max_v = std::max(max_v, v);
+      if (v > 0.05) all_weak = false;
+    }
+    if (all_weak && max_v > 0.0) ++full_channels;
+  }
+  EXPECT_GE(full_channels, 1);
+}
+
+TEST(Mechanisms, MaterialsGrainBoundariesSeverDepthAtTenPercent) {
+  const Csr<double> a = gen_lattice3d(12, 12, 12, 1.2, 902);
+  const index_t w0 = count_wavefronts(a);
+  const SparsifySplit<double> s = sparsify_by_ratio(a, 10.0);
+  EXPECT_LT(count_wavefronts(s.a_hat), (3 * w0) / 4);
+}
+
+TEST(Mechanisms, ThermalInterfacesAreOrdersOfMagnitudeWeak) {
+  const Csr<double> a = gen_varcoef2d(48, 48, 2.0, 1401);
+  // Magnitude spread must span >= 4 decades (phases + contact interfaces).
+  double lo = std::numeric_limits<double>::infinity(), hi = 0.0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    const auto cols_i = a.row_cols(i);
+    const auto vals_i = a.row_vals(i);
+    for (std::size_t p = 0; p < cols_i.size(); ++p) {
+      if (cols_i[p] == i) continue;
+      lo = std::min(lo, std::abs(vals_i[p]));
+      hi = std::max(hi, std::abs(vals_i[p]));
+    }
+  }
+  EXPECT_GT(hi / lo, 1e4);
+}
+
+TEST(Mechanisms, RegimeSwitchingChainSplitsUnderDrop) {
+  const Csr<double> a = gen_ar1_precision(2000, 0.8, 12, 1301);
+  EXPECT_EQ(count_wavefronts(a), 2000);  // intact chain
+  const SparsifySplit<double> s = sparsify_by_ratio(a, 10.0);
+  EXPECT_LT(count_wavefronts(s.a_hat), 1500);
+}
+
+TEST(Mechanisms, CounterExampleGapsCapDepthAtOneBlock) {
+  const Csr<double> a = gen_chain_with_skips(2400, 4, 1e-4, 1.0, 401);
+  EXPECT_EQ(count_wavefronts(a), 2400);
+  const SparsifySplit<double> s = sparsify_by_ratio(a, 10.0);
+  // Post-drop depth = one block of strong chain plus the hub rows' own
+  // chain (the hubs live inside the first block).
+  const index_t block = std::max<index_t>(40, 2400 / 12);
+  const index_t hubs = 2400 / (4 * 4);
+  EXPECT_LE(count_wavefronts(s.a_hat), block + hubs + 10);
+  EXPECT_LT(count_wavefronts(s.a_hat), 500);
+}
+
+TEST(Mechanisms, UniformStencilsStayInert) {
+  // 2D/3D Poisson: the designed no-benefit regime — small reductions only.
+  for (const Csr<double>& a : {gen_poisson2d(32, 32), gen_poisson3d(10, 10, 10)}) {
+    const index_t w0 = count_wavefronts(a);
+    const SparsifySplit<double> s = sparsify_by_ratio(a, 10.0);
+    const double red =
+        100.0 * static_cast<double>(w0 - count_wavefronts(s.a_hat)) /
+        static_cast<double>(w0);
+    EXPECT_LT(red, 15.0);
+  }
+}
+
+// Property sweep over the whole suite: every matrix is square, symmetric,
+// has a positive stored diagonal, n >= 1000 (paper's size filter), and a
+// normalized RHS.
+class SuitePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuitePropertyTest, SuiteInvariants) {
+  const auto id = static_cast<index_t>(GetParam());
+  const GeneratedMatrix g = generate_suite_matrix(id);
+  g.a.validate();
+  EXPECT_EQ(g.a.rows, g.a.cols);
+  EXPECT_GE(g.a.rows, 1000) << g.spec.name;
+  EXPECT_TRUE(is_symmetric(g.a, 1e-12)) << g.spec.name;
+  EXPECT_TRUE(has_positive_diagonal(g.a)) << g.spec.name;
+  EXPECT_NEAR(norm2(std::span<const double>(g.b)), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatrices, SuitePropertyTest,
+                         ::testing::Range(0, 107));
+
+}  // namespace
+}  // namespace spcg

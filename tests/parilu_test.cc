@@ -1,0 +1,104 @@
+// Tests for the fixed-point (ParILU-style) ILU(0) factorization.
+#include <gtest/gtest.h>
+
+#include "core/sparsify.h"
+#include "gen/generators.h"
+#include "precond/parilu.h"
+#include "precond/preconditioner.h"
+#include "solver/pcg.h"
+
+namespace spcg {
+namespace {
+
+TEST(ParIlu, ConvergesToSequentialIlu0) {
+  const Csr<double> a = gen_poisson2d(12, 12);
+  const IluResult<double> exact = ilu0(a);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const int sweeps : {1, 3, 8, 25}) {
+    ParIluOptions opt;
+    opt.sweeps = sweeps;
+    const ParIluResult<double> fp = parilu0(a, opt);
+    const double diff = factor_difference(fp.result, exact);
+    EXPECT_LE(diff, prev * (1.0 + 1e-12)) << "sweeps=" << sweeps;
+    prev = diff;
+  }
+  // A couple dozen Jacobi sweeps get very close on this easy matrix.
+  EXPECT_LT(prev, 1e-6);
+}
+
+TEST(ParIlu, ExactOnTridiagonalAfterFewSweeps) {
+  const index_t n = 16;
+  std::vector<Triplet<double>> ts;
+  for (index_t i = 0; i < n; ++i) {
+    ts.push_back({i, i, 3.0});
+    if (i > 0) ts.push_back({i, i - 1, -1.0});
+    if (i + 1 < n) ts.push_back({i, i + 1, -1.0});
+  }
+  const Csr<double> a = csr_from_triplets<double>(n, n, std::move(ts));
+  ParIluOptions opt;
+  opt.sweeps = 40;
+  const ParIluResult<double> fp = parilu0(a, opt);
+  const IluResult<double> exact = ilu0(a);
+  EXPECT_LT(factor_difference(fp.result, exact), 1e-9);
+  EXPECT_LT(fp.last_update_norm, 1e-9);
+}
+
+TEST(ParIlu, UpdateNormShrinksAcrossSweeps) {
+  const Csr<double> a = gen_grid_laplacian(12, 12, 1.5, 0.4, 5);
+  ParIluOptions few;
+  few.sweeps = 2;
+  ParIluOptions many;
+  many.sweeps = 10;
+  const ParIluResult<double> r2 = parilu0(a, few);
+  const ParIluResult<double> r10 = parilu0(a, many);
+  EXPECT_LT(r10.last_update_norm, r2.last_update_norm);
+}
+
+TEST(ParIlu, UsableAsPreconditionerAfterFewSweeps) {
+  const Csr<double> a = gen_varcoef2d(16, 16, 1.5, 7);
+  const std::vector<double> b = make_rhs(a, 7);
+  PcgOptions opt;
+  opt.tolerance = 1e-10;
+
+  ParIluOptions fp_opt;
+  fp_opt.sweeps = 4;
+  IluPreconditioner<double> m_fp(parilu0(a, fp_opt).result);
+  const SolveResult<double> r_fp = pcg(a, b, m_fp, opt);
+  EXPECT_TRUE(r_fp.converged());
+
+  IluPreconditioner<double> m_exact(ilu0(a));
+  const SolveResult<double> r_exact = pcg(a, b, m_exact, opt);
+  ASSERT_TRUE(r_exact.converged());
+  // A 4-sweep factor is close: within a modest iteration overhead.
+  EXPECT_LE(r_fp.iterations, r_exact.iterations + 15);
+}
+
+TEST(ParIlu, MissingDiagonalThrows) {
+  const Csr<double> a =
+      csr_from_triplets<double>(2, 2, {{0, 0, 1.0}, {1, 0, 1.0}});
+  EXPECT_THROW(parilu0(a), Error);
+}
+
+TEST(ParIlu, ComposesWithSparsification) {
+  const Csr<double> a = gen_grid_laplacian(16, 16, 2.0, 0.4, 9);
+  const std::vector<double> b = make_rhs(a, 9);
+  const SparsifyDecision<double> d = wavefront_aware_sparsify(a);
+  ParIluOptions opt;
+  opt.sweeps = 6;
+  IluPreconditioner<double> m(parilu0(d.chosen.a_hat, opt).result);
+  PcgOptions popt;
+  popt.tolerance = 1e-10;
+  const SolveResult<double> r = pcg(a, b, m, popt);
+  EXPECT_TRUE(r.converged());
+}
+
+TEST(ParIlu, FactorDifferenceRequiresSamePattern) {
+  const Csr<double> a = gen_poisson2d(6, 6);
+  const Csr<double> b = gen_poisson2d(7, 6);
+  const IluResult<double> fa = ilu0(a);
+  const IluResult<double> fb = ilu0(b);
+  EXPECT_THROW(factor_difference(fa, fb), Error);
+}
+
+}  // namespace
+}  // namespace spcg

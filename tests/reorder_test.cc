@@ -1,0 +1,132 @@
+// Tests for symmetric reorderings (RCM, random) and permutation utilities.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "solver/pcg.h"
+#include "sparse/norms.h"
+#include "sparse/reorder.h"
+#include "wavefront/levels.h"
+
+namespace spcg {
+namespace {
+
+TEST(Permutation, ValidateAcceptsAndRejects) {
+  EXPECT_NO_THROW(validate_permutation({2, 0, 1}));
+  EXPECT_THROW(validate_permutation({0, 0, 1}), Error);
+  EXPECT_THROW(validate_permutation({0, 1, 3}), Error);
+}
+
+TEST(Permutation, InvertRoundTrips) {
+  const Permutation p{2, 0, 3, 1};
+  const Permutation inv = invert_permutation(p);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    EXPECT_EQ(inv[static_cast<std::size_t>(p[i])], static_cast<index_t>(i));
+}
+
+TEST(Permutation, PermuteVectorMatchesDefinition) {
+  const std::vector<double> x{10.0, 20.0, 30.0};
+  const Permutation p{2, 0, 1};
+  const std::vector<double> y = permute_vector(x, p);
+  EXPECT_DOUBLE_EQ(y[2], 10.0);
+  EXPECT_DOUBLE_EQ(y[0], 20.0);
+  EXPECT_DOUBLE_EQ(y[1], 30.0);
+}
+
+TEST(Permutation, SymmetricPermutePreservesEntries) {
+  const Csr<double> a = gen_grid_laplacian(8, 8, 1.0, 0.5, 3);
+  const Permutation p = random_permutation(a.rows, 7);
+  const Csr<double> b = permute_symmetric(a, p);
+  b.validate();
+  EXPECT_EQ(b.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t q = a.rowptr[i]; q < a.rowptr[i + 1]; ++q) {
+      const index_t j = a.colind[static_cast<std::size_t>(q)];
+      EXPECT_DOUBLE_EQ(b.at(p[static_cast<std::size_t>(i)],
+                            p[static_cast<std::size_t>(j)]),
+                       a.values[static_cast<std::size_t>(q)]);
+    }
+  }
+  EXPECT_TRUE(is_symmetric(b));
+}
+
+TEST(Permutation, PermutedSystemHasPermutedSolution) {
+  // (P A P^T)(P x) = P b: solving the permuted system and un-permuting
+  // recovers the original solution.
+  const Csr<double> a = gen_poisson2d(10, 10);
+  const std::vector<double> b = make_rhs(a, 5);
+  const Permutation p = random_permutation(a.rows, 11);
+  const Csr<double> pa = permute_symmetric(a, p);
+  const std::vector<double> pb = permute_vector(b, p);
+  PcgOptions opt;
+  opt.tolerance = 1e-11;
+  const SolveResult<double> r0 = cg(a, b, opt);
+  const SolveResult<double> r1 = cg(pa, pb, opt);
+  ASSERT_TRUE(r0.converged());
+  ASSERT_TRUE(r1.converged());
+  const std::vector<double> x1 = permute_vector(r1.x, invert_permutation(p));
+  for (std::size_t i = 0; i < x1.size(); ++i)
+    EXPECT_NEAR(x1[i], r0.x[i], 1e-7);
+}
+
+TEST(Rcm, IsAValidPermutation) {
+  const Csr<double> a = gen_mesh_laplacian(12, 12, 0.4, 0.05, 9);
+  const Permutation p = reverse_cuthill_mckee(a);
+  EXPECT_NO_THROW(validate_permutation(p));
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledGrid) {
+  // Shuffle a grid, then RCM must bring the bandwidth back near the grid's.
+  const Csr<double> a = gen_poisson2d(16, 16);
+  const index_t bw_natural = bandwidth(a);
+  const Csr<double> shuffled =
+      permute_symmetric(a, random_permutation(a.rows, 3));
+  const index_t bw_shuffled = bandwidth(shuffled);
+  ASSERT_GT(bw_shuffled, 4 * bw_natural);
+  const Csr<double> rcm =
+      permute_symmetric(shuffled, reverse_cuthill_mckee(shuffled));
+  EXPECT_LT(bandwidth(rcm), bw_shuffled / 3);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  // Two disjoint chains.
+  std::vector<Triplet<double>> ts;
+  for (index_t i = 0; i < 10; ++i) ts.push_back({i, i, 2.0});
+  for (index_t i = 0; i < 4; ++i) {
+    ts.push_back({i, i + 1, -1.0});
+    ts.push_back({i + 1, i, -1.0});
+  }
+  for (index_t i = 5; i < 9; ++i) {
+    ts.push_back({i, i + 1, -1.0});
+    ts.push_back({i + 1, i, -1.0});
+  }
+  const Csr<double> a = csr_from_triplets<double>(10, 10, std::move(ts));
+  const Permutation p = reverse_cuthill_mckee(a);
+  EXPECT_NO_THROW(validate_permutation(p));
+}
+
+TEST(Rcm, OrderingChangesWavefronts) {
+  // A randomly ordered grid has far fewer wavefronts than the natural
+  // (diagonal-sweep) order; RCM lands near the natural band behavior. This
+  // is the ordering sensitivity the ablation bench studies.
+  const Csr<double> natural = gen_poisson2d(20, 20);
+  const Csr<double> shuffled =
+      permute_symmetric(natural, random_permutation(natural.rows, 13));
+  const index_t wf_natural = count_wavefronts(natural);
+  const index_t wf_shuffled = count_wavefronts(shuffled);
+  EXPECT_LT(wf_shuffled, wf_natural);
+  const Csr<double> rcm =
+      permute_symmetric(shuffled, reverse_cuthill_mckee(shuffled));
+  EXPECT_GT(count_wavefronts(rcm), wf_shuffled);
+}
+
+TEST(Bandwidth, SimpleCases) {
+  const Csr<double> diag = csr_from_triplets<double>(
+      3, 3, {{0, 0, 1}, {1, 1, 1}, {2, 2, 1}});
+  EXPECT_EQ(bandwidth(diag), 0);
+  const Csr<double> tri = csr_from_triplets<double>(
+      3, 3, {{0, 0, 1}, {0, 2, 1}, {2, 0, 1}, {1, 1, 1}, {2, 2, 1}});
+  EXPECT_EQ(bandwidth(tri), 2);
+}
+
+}  // namespace
+}  // namespace spcg

@@ -1,0 +1,155 @@
+// Tests for the shared benchmark runner: record computation, aggregation
+// helpers, oracle selection, and the on-disk cache round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/runner.h"
+
+namespace spcg::bench {
+namespace {
+
+RunConfig tiny_config() {
+  RunConfig c;
+  c.kind = PrecondKind::kIlu0;
+  c.max_matrices = 2;
+  c.use_cache = false;
+  c.max_iterations = 50;
+  c.tolerance = 1e-8;
+  return c;
+}
+
+TEST(Runner, RecordsHaveConsistentStructure) {
+  const std::vector<MatrixRecord> recs = run_suite(tiny_config());
+  ASSERT_EQ(recs.size(), 2u);
+  for (const MatrixRecord& r : recs) {
+    EXPECT_GT(r.n, 0);
+    EXPECT_GT(r.nnz, 0);
+    EXPECT_EQ(r.ratios.size(), 3u);
+    EXPECT_GE(r.spcg_choice, 0);
+    EXPECT_LT(r.spcg_choice, 3);
+    EXPECT_GT(r.spcg_sparsify_model_s, 0.0);
+    // Devices present for every variant.
+    for (const std::string dev : {"A100", "V100", "EPYC-7413"}) {
+      EXPECT_GT(r.baseline.device.at(dev).per_iteration_s, 0.0);
+      for (const VariantRecord& v : r.ratios) {
+        EXPECT_GT(v.device.at(dev).per_iteration_s, 0.0);
+        // Sparsified factors shrink and lose wavefronts (never gain).
+        EXPECT_LE(v.factor_nnz, r.baseline.factor_nnz);
+        EXPECT_LE(v.factor_wavefronts, r.baseline.factor_wavefronts);
+      }
+    }
+  }
+}
+
+TEST(Runner, PerIterationSpeedupAtLeastOneInNoiselessModel) {
+  // With identical A-SpMV and a smaller factor, the deterministic model
+  // can only speed iterations up (the paper's sub-1.0 cases are noise).
+  const std::vector<MatrixRecord> recs = run_suite(tiny_config());
+  for (const MatrixRecord& r : recs) {
+    for (const VariantRecord& v : r.ratios)
+      EXPECT_GE(r.per_iteration_speedup(v, "A100"), 1.0 - 1e-9);
+  }
+}
+
+TEST(Runner, EndToEndRequiresConvergence) {
+  const std::vector<MatrixRecord> recs = run_suite(tiny_config());
+  for (const MatrixRecord& r : recs) {
+    for (const VariantRecord& v : r.ratios) {
+      const auto sp = r.end_to_end_speedup(v, "A100");
+      EXPECT_EQ(sp.has_value(), v.converged && r.baseline.converged);
+    }
+  }
+}
+
+TEST(Runner, OracleChoicesAreOptimal) {
+  const std::vector<MatrixRecord> recs = run_suite(tiny_config());
+  for (const MatrixRecord& r : recs) {
+    const int oc = oracle_per_iteration_choice(r, "A100");
+    ASSERT_GE(oc, 0);
+    const double best =
+        r.ratios[static_cast<std::size_t>(oc)].device.at("A100").per_iteration_s;
+    for (const VariantRecord& v : r.ratios)
+      EXPECT_LE(best, v.device.at("A100").per_iteration_s + 1e-15);
+  }
+}
+
+TEST(Runner, SummarizeSpeedups) {
+  const SpeedupSummary s = summarize_speedups({0.5, 1.0, 2.0});
+  EXPECT_NEAR(s.gmean, 1.0, 1e-12);
+  EXPECT_NEAR(s.pct_accelerated, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(summarize_speedups({}).count, 0u);
+}
+
+TEST(Runner, CacheRoundTripsRecords) {
+  const std::string dir = "/tmp/spcg_runner_test_cache";
+  std::filesystem::remove_all(dir);
+  setenv("SPCG_CACHE_DIR", dir.c_str(), 1);
+  RunConfig c = tiny_config();
+  c.use_cache = true;
+  const std::vector<MatrixRecord> first = run_suite(c);
+  const std::vector<MatrixRecord> second = run_suite(c);  // from cache
+  unsetenv("SPCG_CACHE_DIR");
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const MatrixRecord& a = first[i];
+    const MatrixRecord& b = second[i];
+    EXPECT_EQ(a.spec.name, b.spec.name);
+    EXPECT_EQ(a.spec.category, b.spec.category);
+    EXPECT_EQ(a.nnz, b.nnz);
+    EXPECT_EQ(a.spcg_choice, b.spcg_choice);
+    EXPECT_EQ(a.spcg_outcome, b.spcg_outcome);
+    EXPECT_EQ(a.baseline.iterations, b.baseline.iterations);
+    EXPECT_EQ(a.baseline.converged, b.baseline.converged);
+    for (std::size_t v = 0; v < a.ratios.size(); ++v) {
+      EXPECT_EQ(a.ratios[v].label, b.ratios[v].label);
+      EXPECT_EQ(a.ratios[v].iterations, b.ratios[v].iterations);
+      EXPECT_DOUBLE_EQ(
+          a.ratios[v].device.at("A100").per_iteration_s,
+          b.ratios[v].device.at("A100").per_iteration_s);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, ConfigFingerprintDistinguishesSettings) {
+  RunConfig a = tiny_config();
+  RunConfig b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.kind = PrecondKind::kIluK;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  RunConfig c = a;
+  c.tau = 2.0;
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  RunConfig d = a;
+  d.ratios = {1.0, 5.0, 10.0, 20.0};
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
+TEST(Runner, EnvOverridesApply) {
+  setenv("SPCG_FAST", "1", 1);
+  setenv("SPCG_NO_CACHE", "1", 1);
+  const RunConfig c = apply_env_overrides(RunConfig{});
+  unsetenv("SPCG_FAST");
+  unsetenv("SPCG_NO_CACHE");
+  EXPECT_EQ(c.max_matrices, 24);
+  EXPECT_FALSE(c.use_cache);
+}
+
+TEST(Runner, IlukSelectsKFromCandidates) {
+  RunConfig c = tiny_config();
+  c.kind = PrecondKind::kIluK;
+  c.k_candidates = {2, 5};
+  c.max_matrices = 1;
+  const std::vector<MatrixRecord> recs = run_suite(c);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(recs[0].chosen_k == 2 || recs[0].chosen_k == 5);
+  EXPECT_GE(recs[0].baseline.factor_nnz, recs[0].nnz);  // fill-in happened
+}
+
+}  // namespace
+}  // namespace spcg::bench

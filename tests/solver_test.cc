@@ -1,0 +1,196 @@
+// Unit + property tests for CG/PCG (Algorithm 1) and the Lanczos estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.h"
+#include "precond/preconditioner.h"
+#include "solver/lanczos.h"
+#include "solver/pcg.h"
+#include "sparse/norms.h"
+
+namespace spcg {
+namespace {
+
+TEST(Pcg, SolvesDiagonalSystemInOneIteration) {
+  const Csr<double> a = csr_from_triplets<double>(
+      3, 3, {{0, 0, 2.0}, {1, 1, 4.0}, {2, 2, 8.0}});
+  const std::vector<double> b{2.0, 4.0, 8.0};
+  JacobiPreconditioner<double> m(a);
+  PcgOptions opt;
+  opt.tolerance = 1e-14;
+  const SolveResult<double> r = pcg(a, b, m, opt);
+  EXPECT_TRUE(r.converged());
+  EXPECT_LE(r.iterations, 2);
+  for (const double x : r.x) EXPECT_NEAR(x, 1.0, 1e-12);
+}
+
+TEST(Pcg, CgConvergesOnPoisson) {
+  const Csr<double> a = gen_poisson2d(16, 16);
+  const std::vector<double> b = make_rhs(a, 1);
+  PcgOptions opt;
+  opt.tolerance = 1e-10;
+  const SolveResult<double> r = cg(a, b, opt);
+  EXPECT_TRUE(r.converged());
+  EXPECT_LT(r.final_residual_norm, 1e-9);
+}
+
+TEST(Pcg, IluPreconditioningReducesIterations) {
+  const Csr<double> a = gen_poisson2d(24, 24);
+  const std::vector<double> b = make_rhs(a, 2);
+  PcgOptions opt;
+  opt.tolerance = 1e-10;
+  const SolveResult<double> plain = cg(a, b, opt);
+  IluPreconditioner<double> m(ilu0(a));
+  const SolveResult<double> pre = pcg(a, b, m, opt);
+  ASSERT_TRUE(plain.converged());
+  ASSERT_TRUE(pre.converged());
+  EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+TEST(Pcg, ExactPreconditionerConvergesImmediately) {
+  const Csr<double> a = gen_grid_laplacian(8, 8, 1.0, 0.5, 5);
+  const std::vector<double> b = make_rhs(a, 3);
+  IluPreconditioner<double> m(iluk(a, 100));  // complete LU
+  PcgOptions opt;
+  opt.tolerance = 1e-12;
+  const SolveResult<double> r = pcg(a, b, m, opt);
+  EXPECT_TRUE(r.converged());
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(Pcg, MaxIterationCapRespected) {
+  const Csr<double> a = gen_poisson2d(32, 32);
+  const std::vector<double> b = make_rhs(a, 4);
+  PcgOptions opt;
+  opt.tolerance = 1e-30;  // unreachable
+  opt.max_iterations = 7;
+  const SolveResult<double> r = cg(a, b, opt);
+  EXPECT_EQ(r.status, SolveStatus::kMaxIterations);
+  EXPECT_EQ(r.iterations, 7);
+}
+
+TEST(Pcg, ZeroRhsConvergesWithZeroSolution) {
+  const Csr<double> a = gen_poisson2d(8, 8);
+  const std::vector<double> b(static_cast<std::size_t>(a.rows), 0.0);
+  const SolveResult<double> r = cg(a, b);
+  EXPECT_TRUE(r.converged());
+  EXPECT_EQ(r.iterations, 0);
+  for (const double x : r.x) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Pcg, RecordsMonotonicallyUsefulHistory) {
+  const Csr<double> a = gen_poisson2d(20, 20);
+  const std::vector<double> b = make_rhs(a, 6);
+  PcgOptions opt;
+  opt.tolerance = 1e-10;
+  opt.record_history = true;
+  IluPreconditioner<double> m(ilu0(a));
+  const SolveResult<double> r = pcg(a, b, m, opt);
+  ASSERT_TRUE(r.converged());
+  ASSERT_GT(r.residual_history.size(), 1u);
+  // First entry is ||b|| = 1, last is below tolerance.
+  EXPECT_NEAR(r.residual_history.front(), 1.0, 1e-12);
+  EXPECT_LT(r.residual_history.back(), 1e-10);
+  // CG residuals are not strictly monotone, but must shrink overall.
+  EXPECT_LT(r.residual_history.back(), r.residual_history.front());
+}
+
+TEST(Pcg, RelativeToleranceScalesWithRhs) {
+  const Csr<double> a = gen_poisson2d(12, 12);
+  std::vector<double> b = make_rhs(a, 7);
+  for (double& v : b) v *= 1e6;
+  PcgOptions opt;
+  opt.relative = true;
+  opt.tolerance = 1e-8;
+  const SolveResult<double> r = cg(a, b, opt);
+  EXPECT_TRUE(r.converged());
+  EXPECT_LT(r.final_residual_norm, 1e6 * 1e-7);
+}
+
+TEST(Pcg, BreakdownDetectedOnIndefiniteMatrix) {
+  // CG requires SPD; an indefinite matrix produces non-positive curvature.
+  const Csr<double> a = csr_from_triplets<double>(
+      2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 2.0}, {1, 1, 1.0}});
+  const std::vector<double> b{1.0, -1.0};
+  PcgOptions opt;
+  opt.tolerance = 1e-14;
+  const SolveResult<double> r = cg(a, b, opt);
+  EXPECT_EQ(r.status, SolveStatus::kBreakdown);
+}
+
+TEST(Pcg, SizeMismatchThrows) {
+  const Csr<double> a = gen_poisson2d(4, 4);
+  const std::vector<double> b(3, 1.0);
+  EXPECT_THROW(cg(a, b), Error);
+}
+
+TEST(Pcg, FloatPathConvergesAtLooserTolerance) {
+  const Csr<float> a = csr_cast<float>(gen_poisson2d(16, 16));
+  std::vector<float> b(static_cast<std::size_t>(a.rows), 0.0f);
+  b[0] = 1.0f;
+  PcgOptions opt;
+  opt.tolerance = 1e-4;
+  IluPreconditioner<float> m(ilu0(a));
+  const SolveResult<float> r = pcg<float>(a, b, m, opt);
+  EXPECT_TRUE(r.converged());
+}
+
+TEST(Pcg, SolutionMatchesGroundTruth) {
+  // b was built as normalized A*x_true; recover a scaled x_true.
+  const Csr<double> a = gen_varcoef2d(10, 10, 1.0, 12);
+  Rng rng(0x5bc6u + 100);
+  std::vector<double> x_true(static_cast<std::size_t>(a.rows));
+  for (double& v : x_true) v = rng.uniform(-1.0, 1.0);
+  const std::vector<double> b = spmv(a, x_true);
+  PcgOptions opt;
+  opt.tolerance = 1e-12;
+  opt.relative = true;
+  IluPreconditioner<double> m(ilu0(a));
+  const SolveResult<double> r = pcg(a, b, m, opt);
+  ASSERT_TRUE(r.converged());
+  for (std::size_t i = 0; i < x_true.size(); ++i)
+    EXPECT_NEAR(r.x[i], x_true[i], 1e-7);
+}
+
+// --- Lanczos ---------------------------------------------------------------
+
+TEST(Lanczos, DiagonalMatrixEigenvalues) {
+  const Csr<double> a = csr_from_triplets<double>(
+      4, 4, {{0, 0, 1.0}, {1, 1, 2.0}, {2, 2, 3.0}, {3, 3, 10.0}});
+  const EigEstimate e = lanczos_extreme_eigenvalues(a, 4);
+  EXPECT_NEAR(e.lambda_min, 1.0, 1e-8);
+  EXPECT_NEAR(e.lambda_max, 10.0, 1e-8);
+  EXPECT_NEAR(e.condition_number(), 10.0, 1e-6);
+}
+
+TEST(Lanczos, PoissonEigenvaluesMatchClosedForm) {
+  // 1D Laplacian eigenvalues: 2 - 2 cos(k pi / (n+1)).
+  const index_t n = 64;
+  std::vector<Triplet<double>> ts;
+  for (index_t i = 0; i < n; ++i) {
+    ts.push_back({i, i, 2.0});
+    if (i > 0) ts.push_back({i, i - 1, -1.0});
+    if (i + 1 < n) ts.push_back({i, i + 1, -1.0});
+  }
+  const Csr<double> a = csr_from_triplets<double>(n, n, std::move(ts));
+  const EigEstimate e = lanczos_extreme_eigenvalues(a, 64);
+  const double pi = 3.14159265358979323846;
+  const double lmin = 2.0 - 2.0 * std::cos(pi / (n + 1));
+  const double lmax = 2.0 - 2.0 * std::cos(n * pi / (n + 1));
+  EXPECT_NEAR(e.lambda_min, lmin, 1e-6 * lmax);
+  EXPECT_NEAR(e.lambda_max, lmax, 1e-6 * lmax);
+}
+
+TEST(Lanczos, SpdMatricesReportPositiveSpectrum) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Csr<double> a = gen_grid_laplacian(12, 12, 1.5, 0.3, seed);
+    const EigEstimate e = lanczos_extreme_eigenvalues(a, 50, seed);
+    EXPECT_GT(e.lambda_min, 0.0);
+    EXPECT_GT(e.lambda_max, e.lambda_min);
+    EXPECT_TRUE(std::isfinite(e.condition_number()));
+  }
+}
+
+}  // namespace
+}  // namespace spcg

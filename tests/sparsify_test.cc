@@ -1,0 +1,251 @@
+// Unit + property tests for wavefront-aware sparsification (Algorithm 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sparsify.h"
+#include "gen/generators.h"
+#include "sparse/norms.h"
+#include "sparse/ops.h"
+
+namespace spcg {
+namespace {
+
+TEST(SparsifyRatio, SplitsExactlyIntoAhatPlusS) {
+  const Csr<double> a = gen_grid_laplacian(16, 16, 2.0, 0.3, 42);
+  const SparsifySplit<double> s = sparsify_by_ratio(a, 10.0);
+  s.a_hat.validate();
+  s.s.validate();
+  // A = Â + S entrywise (the split is a partition of A's entries).
+  const Csr<double> sum = add(s.a_hat, s.s);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+      const index_t j = a.colind[static_cast<std::size_t>(p)];
+      EXPECT_DOUBLE_EQ(sum.at(i, j), a.values[static_cast<std::size_t>(p)]);
+    }
+  }
+  EXPECT_EQ(s.a_hat.nnz() + s.s.nnz(), a.nnz());
+  EXPECT_EQ(s.s.nnz(), s.dropped);
+}
+
+TEST(SparsifyRatio, RespectsTargetCount) {
+  const Csr<double> a = gen_grid_laplacian(20, 20, 2.0, 0.3, 7);
+  for (const double t : {1.0, 5.0, 10.0, 25.0}) {
+    const SparsifySplit<double> s = sparsify_by_ratio(a, t);
+    const auto target = static_cast<index_t>(
+        std::llround(t / 100.0 * static_cast<double>(a.nnz())));
+    EXPECT_LE(s.dropped, target) << "t=" << t;
+    // Pairs are size 2, so we can be at most 2 short (1 for the last pair).
+    EXPECT_GE(s.dropped, std::max<index_t>(0, target - 2)) << "t=" << t;
+  }
+}
+
+TEST(SparsifyRatio, PreservesDiagonal) {
+  const Csr<double> a = gen_varcoef2d(14, 14, 2.0, 5);
+  const SparsifySplit<double> s = sparsify_by_ratio(a, 30.0);
+  for (index_t i = 0; i < a.rows; ++i) {
+    EXPECT_NE(s.a_hat.find(i, i), -1) << "diagonal dropped at row " << i;
+    EXPECT_EQ(s.s.find(i, i), -1);
+  }
+}
+
+TEST(SparsifyRatio, PreservesSymmetry) {
+  const Csr<double> a = gen_mesh_laplacian(12, 12, 0.4, 0.05, 9);
+  ASSERT_TRUE(is_symmetric(a));
+  const SparsifySplit<double> s = sparsify_by_ratio(a, 10.0);
+  EXPECT_TRUE(is_symmetric(s.a_hat));
+  EXPECT_TRUE(is_symmetric(s.s));
+}
+
+TEST(SparsifyRatio, DropsSmallestMagnitudesFirst) {
+  const Csr<double> a = gen_grid_laplacian(16, 16, 2.5, 0.3, 11);
+  const SparsifySplit<double> s = sparsify_by_ratio(a, 10.0);
+  // max |dropped| <= min |kept off-diagonal|.
+  double max_dropped = 0.0;
+  for (const double v : s.s.values) max_dropped = std::max(max_dropped, std::abs(v));
+  double min_kept = std::numeric_limits<double>::infinity();
+  for (index_t i = 0; i < s.a_hat.rows; ++i) {
+    const auto cols_i = s.a_hat.row_cols(i);
+    const auto vals_i = s.a_hat.row_vals(i);
+    for (std::size_t p = 0; p < cols_i.size(); ++p) {
+      if (cols_i[p] != i)
+        min_kept = std::min(min_kept, std::abs(vals_i[p]));
+    }
+  }
+  EXPECT_LE(max_dropped, min_kept);
+}
+
+TEST(SparsifyRatio, ZeroRatioDropsNothing) {
+  const Csr<double> a = gen_poisson2d(8, 8);
+  const SparsifySplit<double> s = sparsify_by_ratio(a, 0.0);
+  EXPECT_EQ(s.dropped, 0);
+  EXPECT_EQ(s.a_hat.nnz(), a.nnz());
+  EXPECT_EQ(s.s.nnz(), 0);
+}
+
+TEST(SparsifyRatio, DeterministicOnTies) {
+  // Poisson has all off-diagonals equal: the tie-break must be stable.
+  const Csr<double> a = gen_poisson2d(10, 10);
+  const SparsifySplit<double> s1 = sparsify_by_ratio(a, 10.0);
+  const SparsifySplit<double> s2 = sparsify_by_ratio(a, 10.0);
+  EXPECT_EQ(s1.a_hat.colind, s2.a_hat.colind);
+  EXPECT_EQ(s1.s.colind, s2.s.colind);
+}
+
+TEST(Indicator, DiagonalProxyMatchesHandComputation) {
+  // Â = diag(2, 5) with off-diagonal 1; S holds a single pair of 0.1.
+  const Csr<double> a_hat = csr_from_triplets<double>(
+      2, 2, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 5.0}});
+  const Csr<double> s = csr_from_triplets<double>(
+      2, 2, {{0, 1, 0.1}, {1, 0, 0.1}});
+  const ConvergenceIndicator ind = convergence_indicator(a_hat, s);
+  // ||Â||_inf = 6, min diag = 2 -> kappa = 3; ||Â^{-1}|| = 3/6 = 0.5.
+  EXPECT_NEAR(ind.inv_norm, 0.5, 1e-12);
+  EXPECT_NEAR(ind.s_norm, 0.1, 1e-12);
+  EXPECT_NEAR(ind.product, 0.05, 1e-12);
+}
+
+TEST(Indicator, NonPositiveDiagonalIsUnsafe) {
+  const Csr<double> a_hat = csr_from_triplets<double>(
+      2, 2, {{0, 0, -1.0}, {1, 1, 1.0}});
+  const Csr<double> s = csr_from_triplets<double>(2, 2, {{0, 1, 0.5}});
+  const ConvergenceIndicator ind = convergence_indicator(a_hat, s);
+  EXPECT_TRUE(std::isinf(ind.product));
+}
+
+TEST(Indicator, LanczosEstimatorTighterThanProxyOnWellConditioned) {
+  const Csr<double> a = gen_grid_laplacian(12, 12, 1.0, 1.0, 3);
+  const SparsifySplit<double> split = sparsify_by_ratio(a, 5.0);
+  const ConvergenceIndicator proxy =
+      convergence_indicator(split.a_hat, split.s,
+                            ConditionEstimator::kDiagonalProxy);
+  const ConvergenceIndicator exact = convergence_indicator(
+      split.a_hat, split.s, ConditionEstimator::kLanczos, 80);
+  EXPECT_GT(proxy.product, 0.0);
+  EXPECT_GT(exact.product, 0.0);
+  // For this diagonally dominant family 1/min_diag >= 1/lambda_min is not
+  // guaranteed in general, but both must be finite and of the same scale.
+  EXPECT_LT(std::abs(std::log10(proxy.product / exact.product)), 2.0);
+}
+
+TEST(Algorithm2, ReturnsAValidDecision) {
+  const Csr<double> a = gen_grid_laplacian(24, 24, 2.2, 0.3, 77);
+  const SparsifyDecision<double> d = wavefront_aware_sparsify(a);
+  EXPECT_GT(d.wavefronts_original, 0);
+  EXPECT_LE(d.wavefronts_chosen, d.wavefronts_original);
+  EXPECT_FALSE(d.steps.empty());
+  d.chosen.a_hat.validate();
+  // Chosen ratio must be one of the candidates.
+  EXPECT_TRUE(d.chosen.ratio_percent == 10.0 || d.chosen.ratio_percent == 5.0 ||
+              d.chosen.ratio_percent == 1.0);
+}
+
+TEST(Algorithm2, AcceptsAggressiveRatioWhenReductionIsLarge) {
+  // Weak chain: the entire dependence chain is carried by tiny entries, so a
+  // 10% drop collapses the wavefronts and passes both tests immediately.
+  const Csr<double> a = gen_chain_with_skips(600, 4, 1e-5, 1.0, 13);
+  const SparsifyDecision<double> d = wavefront_aware_sparsify(a);
+  EXPECT_EQ(d.outcome, SparsifyOutcome::kWavefrontAccepted);
+  // One of the aggressive ratios wins on the wavefront test.
+  EXPECT_GE(d.chosen.ratio_percent, 5.0);
+  EXPECT_GT(d.reduction_percent, 50.0);
+}
+
+TEST(Algorithm2, FallsBackToSmallestRatioWithoutReduction) {
+  // Poisson: dropping equal-magnitude entries barely changes the wavefront
+  // count, so Algorithm 2 should land on the most conservative ratio.
+  const Csr<double> a = gen_poisson2d(20, 20);
+  SparsifyOptions opt;
+  opt.omega_percent = 60.0;  // unreachable reduction
+  const SparsifyDecision<double> d = wavefront_aware_sparsify(a, opt);
+  EXPECT_EQ(d.outcome, SparsifyOutcome::kSmallestRatioFallback);
+  EXPECT_DOUBLE_EQ(d.chosen.ratio_percent, 1.0);
+}
+
+TEST(Algorithm2, UnsafeFallbackPicksMostAggressiveRatio) {
+  const Csr<double> a = gen_grid_laplacian(16, 16, 2.0, 0.3, 21);
+  SparsifyOptions opt;
+  opt.tau = 0.0;  // every candidate fails the convergence check
+  const SparsifyDecision<double> d = wavefront_aware_sparsify(a, opt);
+  EXPECT_EQ(d.outcome, SparsifyOutcome::kUnsafeFallback);
+  EXPECT_DOUBLE_EQ(d.chosen.ratio_percent, 10.0);
+  // All steps were evaluated and all failed.
+  EXPECT_EQ(d.steps.size(), 3u);
+  for (const SparsifyStep& s : d.steps) EXPECT_FALSE(s.convergence_ok);
+}
+
+TEST(Algorithm2, StepDiagnosticsAreConsistent) {
+  const Csr<double> a = gen_varcoef2d(20, 20, 2.5, 33);
+  const SparsifyDecision<double> d = wavefront_aware_sparsify(a);
+  for (const SparsifyStep& s : d.steps) {
+    EXPECT_GT(s.ratio_percent, 0.0);
+    if (s.convergence_ok) {
+      EXPECT_GE(s.wavefronts, 1);
+      EXPECT_LE(s.wavefronts, d.wavefronts_original);
+    }
+  }
+}
+
+TEST(Algorithm2, CustomRatioListIsHonored) {
+  const Csr<double> a = gen_grid_laplacian(14, 14, 2.0, 0.3, 55);
+  SparsifyOptions opt;
+  opt.ratios = {20.0, 2.0};
+  opt.omega_percent = 0.0;  // accept first safe ratio
+  const SparsifyDecision<double> d = wavefront_aware_sparsify(a, opt);
+  EXPECT_TRUE(d.chosen.ratio_percent == 20.0 || d.chosen.ratio_percent == 2.0);
+}
+
+TEST(Algorithm2, AlgorithmLine10DenominatorVariant) {
+  // The Alg.-2-literal denominator (w_Â) yields a >= reduction value than
+  // Eq. 7's (w_A); both must pick a valid candidate.
+  const Csr<double> a = gen_chain_with_skips(500, 4, 1e-5, 1.0, 17);
+  SparsifyOptions eq7;
+  SparsifyOptions alg2;
+  alg2.denominator = WavefrontDenominator::kSparsified;
+  const auto d7 = wavefront_aware_sparsify(a, eq7);
+  const auto d2 = wavefront_aware_sparsify(a, alg2);
+  d7.chosen.a_hat.validate();
+  d2.chosen.a_hat.validate();
+}
+
+TEST(SparsifyRatio, PreservesDiagonalDominance) {
+  // Removing off-diagonal mass can only strengthen row dominance, so a
+  // dominant matrix stays dominant after any sparsification ratio.
+  const Csr<double> a = gen_grid_laplacian(14, 14, 2.0, 0.3, 3);
+  ASSERT_TRUE(is_diagonally_dominant(a));
+  for (const double t : {1.0, 10.0, 30.0}) {
+    EXPECT_TRUE(is_diagonally_dominant(sparsify_by_ratio(a, t).a_hat)) << t;
+  }
+}
+
+// Property sweep: invariants hold across families and ratios.
+class SparsifyPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SparsifyPropertyTest, InvariantsAcrossFamilies) {
+  const double ratio = GetParam();
+  const std::vector<Csr<double>> family{
+      gen_poisson2d(14, 14),
+      gen_grid_laplacian(14, 14, 2.0, 0.3, 1),
+      gen_mesh_laplacian(12, 12, 0.4, 0.05, 2),
+      gen_banded(300, 10, 0.3, true, 3),
+      gen_economic(300, 8, 0.9, 4),
+  };
+  for (const Csr<double>& a : family) {
+    const SparsifySplit<double> s = sparsify_by_ratio(a, ratio);
+    // Partition invariant.
+    EXPECT_EQ(s.a_hat.nnz() + s.s.nnz(), a.nnz());
+    // Symmetry preserved.
+    EXPECT_TRUE(is_symmetric(s.a_hat, 0.0));
+    // Diagonal untouched.
+    for (index_t i = 0; i < a.rows; ++i)
+      EXPECT_DOUBLE_EQ(s.a_hat.at(i, i), a.at(i, i));
+    // Wavefronts never increase.
+    EXPECT_LE(count_wavefronts(s.a_hat), count_wavefronts(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, SparsifyPropertyTest,
+                         ::testing::Values(0.5, 1.0, 5.0, 10.0, 20.0, 50.0));
+
+}  // namespace
+}  // namespace spcg

@@ -1,0 +1,208 @@
+// Unit tests for src/support: statistics, RNG determinism, tables, errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace spcg {
+namespace {
+
+TEST(Error, CheckThrowsWithExpressionAndLocation) {
+  try {
+    SPCG_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cc"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(SPCG_CHECK(2 + 2 == 4));
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> xs{1.0, 4.0};
+  EXPECT_NEAR(geometric_mean(xs), 2.0, 1e-12);
+  const std::vector<double> ys{2.0, 2.0, 2.0};
+  EXPECT_NEAR(geometric_mean(ys), 2.0, 1e-12);
+  EXPECT_THROW(geometric_mean(std::vector<double>{1.0, 0.0}), Error);
+  EXPECT_THROW(geometric_mean(std::vector<double>{}), Error);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{5.0}, 50), 5.0);
+}
+
+TEST(Stats, FractionAboveIsStrict) {
+  const std::vector<double> xs{0.5, 1.0, 1.5, 2.0};
+  EXPECT_DOUBLE_EQ(fraction_above(xs, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_above(std::vector<double>{}, 1.0), 0.0);
+}
+
+TEST(Stats, PearsonPerfectAndDegenerate) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> up{2, 4, 6, 8};
+  const std::vector<double> down{8, 6, 4, 2};
+  const std::vector<double> flat{5, 5, 5, 5};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+}
+
+TEST(Stats, SpearmanHandlesTiesAndMonotonicity) {
+  // Monotone but nonlinear -> Spearman 1, Pearson < 1.
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+
+  // Ties share average ranks.
+  const std::vector<double> a{1, 2, 2, 3};
+  const std::vector<double> ranks = average_ranks(a);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  const std::vector<double> xs{-1.0, 0.1, 0.1, 0.6, 5.0};
+  const Histogram h = histogram(xs, 0.0, 1.0, 2, /*as_percent=*/false);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.counts[0], 3.0);  // -1 clamps into first bin
+  EXPECT_DOUBLE_EQ(h.counts[1], 2.0);  // 5.0 clamps into last bin
+  const Histogram hp = histogram(xs, 0.0, 1.0, 2, /*as_percent=*/true);
+  EXPECT_DOUBLE_EQ(hp.counts[0] + hp.counts[1], 100.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(43);
+  EXPECT_NE(Rng(42).next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.uniform_index(5)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ParetoIsHeavyTailedAndPositive) {
+  Rng rng(17);
+  int above10 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.pareto(1.0);
+    EXPECT_GE(x, 1.0);
+    if (x > 10.0) ++above10;
+  }
+  // P(X > 10) = 0.1 for alpha=1.
+  EXPECT_GT(above10, 700);
+  EXPECT_LT(above10, 1300);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(19);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Table, AlignedRenderAndTsv) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  const std::string pretty = t.render();
+  EXPECT_NE(pretty.find("name"), std::string::npos);
+  EXPECT_NE(pretty.find("alpha"), std::string::npos);
+  const std::string tsv = t.render_tsv();
+  EXPECT_NE(tsv.find("alpha\t1"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_percent(0.6916), "69.16%");
+  EXPECT_EQ(fmt_speedup(1.234), "1.23x");
+}
+
+TEST(Table, HistogramRendering) {
+  const std::vector<double> xs{0.1, 0.1, 0.9};
+  const Histogram h = histogram(xs, 0.0, 1.0, 2, true);
+  const std::string out = render_histogram(h, "%", 10);
+  EXPECT_NE(out.find("[0.00,0.50)"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spcg

@@ -1,0 +1,167 @@
+// Unit + property tests for the wavefront (level-set) inspector.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "sparse/csr.h"
+#include "wavefront/levels.h"
+
+namespace spcg {
+namespace {
+
+// The paper's Figure 1 example: lower-triangular with nnz {a,b,c,d,e,f,g}.
+Csr<double> figure1_lower() {
+  return csr_from_triplets<double>(4, 4,
+                                   {{0, 0, 1.0},   // a
+                                    {1, 1, 1.0},   // b
+                                    {2, 0, 1.0},   // c
+                                    {2, 2, 1.0},   // d
+                                    {3, 0, 1.0},   // e
+                                    {3, 2, 1.0},   // f
+                                    {3, 3, 1.0}}); // g
+}
+
+TEST(Levels, Figure1HasThreeWavefronts) {
+  const Csr<double> l = figure1_lower();
+  const LevelSchedule s = level_schedule(l, Triangle::kLower);
+  EXPECT_EQ(s.num_levels(), 3);
+  // Wavefront 1: rows 0, 1. Wavefront 2: row 2. Wavefront 3: row 3.
+  EXPECT_EQ(s.level_of_row[0], 0);
+  EXPECT_EQ(s.level_of_row[1], 0);
+  EXPECT_EQ(s.level_of_row[2], 1);
+  EXPECT_EQ(s.level_of_row[3], 2);
+  EXPECT_EQ(s.level_size(0), 2);
+  EXPECT_EQ(s.max_level_size(), 2);
+}
+
+TEST(Levels, Figure1SparsifiedHasTwoWavefronts) {
+  // Dropping nnz f (edge 2 -> 3) reduces wavefronts from 3 to 2 (Fig. 1d).
+  Csr<double> l = csr_from_triplets<double>(4, 4,
+                                            {{0, 0, 1.0},
+                                             {1, 1, 1.0},
+                                             {2, 0, 1.0},
+                                             {2, 2, 1.0},
+                                             {3, 0, 1.0},
+                                             {3, 3, 1.0}});
+  EXPECT_EQ(count_wavefronts(l), 2);
+}
+
+TEST(Levels, DiagonalMatrixIsOneWavefront) {
+  const Csr<double> d = csr_from_triplets<double>(
+      5, 5, {{0, 0, 1}, {1, 1, 1}, {2, 2, 1}, {3, 3, 1}, {4, 4, 1}});
+  EXPECT_EQ(count_wavefronts(d), 1);
+  const LevelSchedule s = level_schedule(d, Triangle::kLower);
+  EXPECT_EQ(s.level_size(0), 5);
+  EXPECT_DOUBLE_EQ(s.avg_level_size(), 5.0);
+}
+
+TEST(Levels, DenseChainIsNWavefronts) {
+  // Tridiagonal: every row depends on the previous one.
+  std::vector<Triplet<double>> ts;
+  const index_t n = 17;
+  for (index_t i = 0; i < n; ++i) {
+    ts.push_back({i, i, 2.0});
+    if (i > 0) ts.push_back({i, i - 1, -1.0});
+    if (i + 1 < n) ts.push_back({i, i + 1, -1.0});
+  }
+  const Csr<double> a = csr_from_triplets<double>(n, n, std::move(ts));
+  EXPECT_EQ(count_wavefronts(a), n);
+  // Upper schedule mirrors: also n levels, reversed sweep.
+  EXPECT_EQ(level_schedule(a, Triangle::kUpper).num_levels(), n);
+}
+
+TEST(Levels, UpperLowerSymmetricPatternsMatch) {
+  const Csr<double> a = gen_poisson2d(12, 9);
+  EXPECT_EQ(level_schedule(a, Triangle::kLower).num_levels(),
+            level_schedule(a, Triangle::kUpper).num_levels());
+}
+
+TEST(Levels, ScheduleIsValidTopologicalOrder) {
+  const Csr<double> a = gen_grid_laplacian(15, 15, 1.0, 0.2, 99);
+  const LevelSchedule s = level_schedule(a, Triangle::kLower);
+  // Every lower-triangular dependence (i,j), j<i must satisfy
+  // level(j) < level(i).
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+      const index_t j = a.colind[static_cast<std::size_t>(p)];
+      if (j < i) {
+        EXPECT_LT(s.level_of_row[static_cast<std::size_t>(j)],
+                  s.level_of_row[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+  // Levels partition the rows.
+  index_t total = 0;
+  for (index_t l = 0; l < s.num_levels(); ++l) total += s.level_size(l);
+  EXPECT_EQ(total, a.rows);
+}
+
+TEST(Levels, LevelsAreTight) {
+  // Tightness: each row with level > 0 has at least one dependence exactly
+  // one level below (otherwise it could have been scheduled earlier).
+  const Csr<double> a = gen_mesh_laplacian(13, 11, 0.4, 0.05, 7);
+  const LevelSchedule s = level_schedule(a, Triangle::kLower);
+  for (index_t i = 0; i < a.rows; ++i) {
+    const index_t li = s.level_of_row[static_cast<std::size_t>(i)];
+    if (li == 0) continue;
+    bool found = false;
+    for (index_t p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+      const index_t j = a.colind[static_cast<std::size_t>(p)];
+      if (j < i && s.level_of_row[static_cast<std::size_t>(j)] == li - 1)
+        found = true;
+    }
+    EXPECT_TRUE(found) << "row " << i << " is not tight";
+  }
+}
+
+TEST(Levels, WavefrontReductionPercent) {
+  EXPECT_DOUBLE_EQ(wavefront_reduction_percent(100, 80), 20.0);
+  EXPECT_DOUBLE_EQ(wavefront_reduction_percent(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(wavefront_reduction_percent(10, 10), 0.0);
+}
+
+TEST(Levels, LevelNnzSumsToTriangleNnz) {
+  const Csr<double> a = gen_poisson2d(10, 10);
+  const LevelSchedule s = level_schedule(a, Triangle::kLower);
+  const std::vector<index_t> nnz = level_nnz(a, s, Triangle::kLower);
+  index_t total = 0;
+  for (const index_t c : nnz) total += c;
+  // Lower triangle incl. diagonal of the 5-point stencil.
+  const Csr<double> l =
+      extract_triangle(a, Triangle::kLower, DiagonalPolicy::kInclude);
+  EXPECT_EQ(total, l.nnz());
+}
+
+TEST(Levels, EmptyMatrix) {
+  const Csr<double> a(0, 0);
+  EXPECT_EQ(count_wavefronts(a), 0);
+}
+
+// Property sweep: across generator families, the schedule is always a valid
+// topological order and sparsifying cannot increase the level count when
+// entries are only removed.
+class LevelsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LevelsPropertyTest, RemovalNeverIncreasesWavefronts) {
+  const int seed = GetParam();
+  const Csr<double> a =
+      gen_grid_laplacian(20, 20, 2.0, 0.3, static_cast<std::uint64_t>(seed));
+  const index_t w0 = count_wavefronts(a);
+  // Remove entries below increasing thresholds.
+  for (const double tol : {0.02, 0.1, 0.5, 2.0}) {
+    Csr<double> dropped = drop_small(a, tol);
+    // Keep the diagonal in place for a meaningful comparison.
+    for (index_t i = 0; i < a.rows; ++i) {
+      if (dropped.find(i, i) < 0) {
+        // Diagonal was dropped by the threshold; skip this configuration.
+        return;
+      }
+    }
+    EXPECT_LE(count_wavefronts(dropped), w0) << "tol=" << tol;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevelsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace spcg
