@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/lint.h"
 #include "core/sparsify.h"
 #include "precond/preconditioner.h"
 #include "solver/pcg.h"
@@ -17,6 +18,22 @@ namespace spcg::bench {
 namespace {
 
 constexpr const char* kCacheMagic = "SPCGCACHE v3";
+
+// Every benchmark validates its inputs through the structural linter in
+// debug builds; release builds opt in with SPCG_VALIDATE=1.
+bool validate_enabled() {
+#ifndef NDEBUG
+  return true;
+#else
+  const char* v = std::getenv("SPCG_VALIDATE");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+#endif
+}
+
+void lint_or_throw(const analysis::Diagnostics& d, const std::string& what) {
+  if (!d.ok())
+    throw Error("bench input failed lint (" + what + "):\n" + d.to_string(8));
+}
 
 std::string cache_dir() {
   if (const char* dir = std::getenv("SPCG_CACHE_DIR")) return dir;
@@ -71,6 +88,15 @@ std::optional<double> MatrixRecord::end_to_end_speedup(
 
 MatrixRecord run_matrix(const GeneratedMatrix& g, const RunConfig& config) {
   const Csr<double>& a = g.a;
+  const bool validate = validate_enabled();
+  if (validate) {
+    analysis::LintOptions lint_opt;
+    lint_opt.check_symmetry = true;
+    lint_opt.check_spd = true;
+    lint_opt.symmetry_tol = 0.0;
+    lint_or_throw(analysis::analyze(a, lint_opt, g.spec.name),
+                  g.spec.name + ": A");
+  }
   MatrixRecord rec;
   rec.spec = g.spec;
   rec.n = a.rows;
@@ -91,6 +117,9 @@ MatrixRecord run_matrix(const GeneratedMatrix& g, const RunConfig& config) {
         config.kind == PrecondKind::kIlu0
             ? ilu0(input)
             : iluk(input, fill_level, IluOptions{}, config.max_row_fill);
+    if (validate)
+      lint_or_throw(analysis::analyze_ilu(fact, {}, label),
+                    g.spec.name + ": factor " + label);
     v.matrix_wavefronts = (&input == &a) ? rec.wavefronts
                                          : count_wavefronts(input);
     v.factor_nnz = fact.lu.nnz();
@@ -167,6 +196,9 @@ MatrixRecord run_matrix(const GeneratedMatrix& g, const RunConfig& config) {
     const SparsifySplit<double> split = sparsify_by_ratio(a, t);
     std::ostringstream label;
     label << t << "%";
+    if (validate)
+      lint_or_throw(analysis::analyze_sparsify(a, split),
+                    g.spec.name + ": split " + label.str());
     rec.ratios.push_back(
         evaluate(split.a_hat, label.str(), t, 1, fill_level));
   }

@@ -1,0 +1,222 @@
+// spcg-lint: structural linter CLI for SPCG inputs and factors.
+//
+// Usage:
+//   spcg-lint <matrix.mtx> [options]
+//   spcg-lint --suite <id> [options]
+//   spcg-lint --suite-all [options]
+//   spcg-lint --rules
+//
+// Options:
+//   --factor ilu0|iluk|ilut  factorize and lint the factor, its L/U split,
+//                            and the level schedules (static race check)
+//   --k K                    fill level for --factor iluk (default 1)
+//   --race                   also run the instrumented race-detecting
+//                            executor over both schedules
+//   --strict                 treat warnings as errors for the exit code
+//   --sym-tol T              numeric symmetry tolerance (default 1e-10*|A|)
+//   --max-diags N            findings printed per rule (default 8, 0 = all)
+//   --quiet                  print only the summary line per object
+//
+// Exit codes: 0 = clean, 1 = lint errors found, 2 = usage or I/O error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "analysis/race_detector.h"
+#include "gen/suite.h"
+#include "precond/ilu.h"
+#include "precond/ilut.h"
+#include "sparse/io.h"
+#include "sparse/norms.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace spcg;
+
+struct Options {
+  std::string path;            // .mtx input (mutually exclusive with suite)
+  index_t suite_id = -1;       // --suite
+  bool suite_all = false;      // --suite-all
+  std::string factor;          // "", "ilu0", "iluk", "ilut"
+  index_t k = 1;
+  bool race = false;
+  bool strict = false;
+  bool quiet = false;
+  double sym_tol = -1.0;  // <0: derive from |A|
+  std::size_t max_diags = 8;
+};
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (<matrix.mtx> | --suite <id> | --suite-all | --rules)\n"
+               "  [--factor ilu0|iluk|ilut] [--k K] [--race] [--strict]\n"
+               "  [--sym-tol T] [--max-diags N] [--quiet]\n";
+}
+
+/// Print a report (honoring --quiet) and fold it into the running tally.
+class Tally {
+ public:
+  Tally(bool strict, bool quiet, std::size_t max_diags)
+      : strict_(strict), quiet_(quiet), max_diags_(max_diags) {}
+
+  void take(const std::string& what, const analysis::Diagnostics& d) {
+    errors_ += d.count(analysis::Severity::kError);
+    warnings_ += d.count(analysis::Severity::kWarning);
+    if (!quiet_ && !d.empty()) std::cout << d.to_string(max_diags_);
+    std::cout << what << ": " << d.count(analysis::Severity::kError)
+              << " error(s), " << d.count(analysis::Severity::kWarning)
+              << " warning(s)\n";
+  }
+
+  [[nodiscard]] int exit_code() const {
+    if (errors_ > 0) return 1;
+    if (strict_ && warnings_ > 0) return 1;
+    return 0;
+  }
+
+ private:
+  bool strict_;
+  bool quiet_;
+  std::size_t max_diags_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+void lint_factor(const Csr<double>& a, const Options& opt, Tally& tally) {
+  IluResult<double> fact;
+  if (opt.factor == "ilu0") {
+    fact = ilu0(a);
+  } else if (opt.factor == "iluk") {
+    fact = iluk(a, opt.k);
+  } else if (opt.factor == "ilut") {
+    fact = ilut(a);
+  } else {
+    throw Error("unknown --factor '" + opt.factor + "'");
+  }
+  analysis::LintOptions lopt;
+  lopt.max_per_rule = opt.max_diags;
+  tally.take("factor(" + opt.factor + ")", analysis::analyze_ilu(fact, lopt));
+
+  const TriangularFactors<double> f = split_lu(fact);
+  tally.take("L", analysis::analyze_triangular(f.l, Triangle::kLower,
+                                               /*expect_unit_diag=*/true,
+                                               lopt, "L"));
+  tally.take("U", analysis::analyze_triangular(f.u, Triangle::kUpper,
+                                               /*expect_unit_diag=*/false,
+                                               lopt, "U"));
+
+  const LevelSchedule ls = level_schedule(f.l, Triangle::kLower);
+  const LevelSchedule us = level_schedule(f.u, Triangle::kUpper);
+  tally.take("schedule(L)",
+             analysis::verify_level_schedule(f.l, ls, Triangle::kLower,
+                                             "schedule(L)", opt.max_diags));
+  tally.take("schedule(U)",
+             analysis::verify_level_schedule(f.u, us, Triangle::kUpper,
+                                             "schedule(U)", opt.max_diags));
+
+  if (opt.race) {
+    std::vector<double> b(static_cast<std::size_t>(a.rows));
+    Rng rng(12345);
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+    std::vector<double> x(b.size()), y(b.size());
+    const analysis::RaceReport rl = analysis::sptrsv_lower_levels_checked(
+        f.l, ls, std::span<const double>(b), std::span<double>(y));
+    const analysis::RaceReport ru = analysis::sptrsv_upper_levels_checked(
+        f.u, us, std::span<const double>(y), std::span<double>(x));
+    tally.take("race(L) [" + std::to_string(rl.reads) + " reads, " +
+                   std::to_string(rl.writes) + " writes, " +
+                   std::to_string(rl.levels) + " levels]",
+               rl.to_diagnostics("race(L)"));
+    tally.take("race(U) [" + std::to_string(ru.reads) + " reads, " +
+                   std::to_string(ru.writes) + " writes, " +
+                   std::to_string(ru.levels) + " levels]",
+               ru.to_diagnostics("race(U)"));
+  }
+}
+
+void lint_one(const Csr<double>& a, const std::string& name,
+              const Options& opt, Tally& tally) {
+  analysis::LintOptions lopt;
+  lopt.check_symmetry = true;
+  lopt.check_spd = true;
+  lopt.symmetry_tol = opt.sym_tol >= 0.0
+                          ? opt.sym_tol
+                          : 1e-10 * static_cast<double>(norm_inf(a));
+  lopt.max_per_rule = opt.max_diags;
+  tally.take(name, analysis::analyze(a, lopt, name));
+  if (!opt.factor.empty()) lint_factor(a, opt, tally);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--rules") {
+      for (const analysis::RuleInfo& r : analysis::rule_catalog())
+        std::cout << r.id << "\t" << r.description << "\n";
+      return 0;
+    } else if (arg == "--suite") {
+      opt.suite_id = static_cast<index_t>(std::atoi(next()));
+    } else if (arg == "--suite-all") {
+      opt.suite_all = true;
+    } else if (arg == "--factor") {
+      opt.factor = next();
+    } else if (arg == "--k") {
+      opt.k = static_cast<index_t>(std::atoi(next()));
+    } else if (arg == "--race") {
+      opt.race = true;
+    } else if (arg == "--strict") {
+      opt.strict = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--sym-tol") {
+      opt.sym_tol = std::atof(next());
+    } else if (arg == "--max-diags") {
+      opt.max_diags = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else if (opt.path.empty()) {
+      opt.path = arg;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  const int sources = (opt.path.empty() ? 0 : 1) +
+                      (opt.suite_id >= 0 ? 1 : 0) + (opt.suite_all ? 1 : 0);
+  if (sources != 1) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  Tally tally(opt.strict, opt.quiet, opt.max_diags);
+  try {
+    if (opt.suite_all) {
+      for (index_t id = 0; id < suite_size(); ++id) {
+        const GeneratedMatrix g = generate_suite_matrix(id);
+        lint_one(g.a, g.spec.name, opt, tally);
+      }
+    } else if (opt.suite_id >= 0) {
+      const GeneratedMatrix g = generate_suite_matrix(opt.suite_id);
+      lint_one(g.a, g.spec.name, opt, tally);
+    } else {
+      lint_one(read_matrix_market(opt.path), opt.path, opt, tally);
+    }
+  } catch (const spcg::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return tally.exit_code();
+}

@@ -1,0 +1,136 @@
+// Structured diagnostics for the static-analysis layer.
+//
+// Unlike SPCG_CHECK (which throws on the first violation), the analysis
+// passes in src/analysis/ collect *every* finding into a Diagnostics report:
+// each finding carries a severity, a stable rule id from the catalog in
+// lint.h, the object and location it refers to, and a human-readable
+// message. Callers decide whether errors are fatal (spcg-lint exits nonzero,
+// the bench runner throws, tests assert on specific rule ids).
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace spcg::analysis {
+
+enum class Severity { kInfo, kWarning, kError };
+
+inline const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+/// One finding of an analysis pass.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;     // stable id from the rule catalog (lint.h)
+  std::string object;   // what was analyzed: "A", "L", "U", "schedule", ...
+  index_t row = -1;     // location within the object; -1 = not applicable
+  index_t col = -1;
+  std::string message;  // human-readable detail
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << analysis::to_string(severity) << " [" << rule << "] " << object;
+    if (row >= 0) {
+      os << " row " << row;
+      if (col >= 0) os << " col " << col;
+    }
+    os << ": " << message;
+    return os.str();
+  }
+};
+
+/// Accumulated findings of one or more analysis passes.
+class Diagnostics {
+ public:
+  void add(Diagnostic d) { items_.push_back(std::move(d)); }
+
+  void error(std::string rule, std::string object, std::string message,
+             index_t row = -1, index_t col = -1) {
+    add({Severity::kError, std::move(rule), std::move(object), row, col,
+         std::move(message)});
+  }
+  void warning(std::string rule, std::string object, std::string message,
+               index_t row = -1, index_t col = -1) {
+    add({Severity::kWarning, std::move(rule), std::move(object), row, col,
+         std::move(message)});
+  }
+  void info(std::string rule, std::string object, std::string message,
+            index_t row = -1, index_t col = -1) {
+    add({Severity::kInfo, std::move(rule), std::move(object), row, col,
+         std::move(message)});
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& items() const { return items_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  /// True when no error-severity finding was recorded (warnings allowed).
+  [[nodiscard]] bool ok() const { return count(Severity::kError) == 0; }
+
+  [[nodiscard]] std::size_t count(Severity s) const {
+    return static_cast<std::size_t>(
+        std::count_if(items_.begin(), items_.end(),
+                      [s](const Diagnostic& d) { return d.severity == s; }));
+  }
+
+  /// True when some finding carries `rule` (any severity).
+  [[nodiscard]] bool has_rule(const std::string& rule) const {
+    return std::any_of(items_.begin(), items_.end(),
+                       [&](const Diagnostic& d) { return d.rule == rule; });
+  }
+
+  /// All findings carrying `rule`.
+  [[nodiscard]] std::vector<Diagnostic> by_rule(const std::string& rule) const {
+    std::vector<Diagnostic> out;
+    for (const Diagnostic& d : items_)
+      if (d.rule == rule) out.push_back(d);
+    return out;
+  }
+
+  /// Merge another report into this one (e.g. per-object sub-passes).
+  void merge(const Diagnostics& other) {
+    items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  }
+
+  /// First error, or nullptr. Used to surface one representative failure.
+  [[nodiscard]] const Diagnostic* first_error() const {
+    for (const Diagnostic& d : items_)
+      if (d.severity == Severity::kError) return &d;
+    return nullptr;
+  }
+
+  /// Render every finding, one per line (optionally capped).
+  [[nodiscard]] std::string to_string(std::size_t max_items = 0) const {
+    std::ostringstream os;
+    std::size_t shown = 0;
+    for (const Diagnostic& d : items_) {
+      if (max_items != 0 && shown == max_items) {
+        os << "... (" << (items_.size() - shown) << " more)\n";
+        break;
+      }
+      os << d.to_string() << "\n";
+      ++shown;
+    }
+    return os.str();
+  }
+
+ private:
+  std::vector<Diagnostic> items_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Diagnostics& d) {
+  return os << d.to_string();
+}
+
+}  // namespace spcg::analysis

@@ -1,0 +1,48 @@
+#include "analysis/lint.h"
+
+namespace spcg::analysis {
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog{
+      {kRuleShapeNonNegative, "rows and cols must be non-negative"},
+      {kRuleShapeSquare, "operation requires a square matrix"},
+      {kRuleRowptrSize, "rowptr must have exactly rows+1 entries"},
+      {kRuleRowptrFront, "rowptr[0] must be 0"},
+      {kRuleRowptrMonotone, "rowptr must be non-decreasing"},
+      {kRuleArraysSize, "colind and values must have equal size"},
+      {kRuleNnzConsistent, "rowptr.back() must equal the stored nnz"},
+      {kRuleColindBounds, "column indices must lie in [0, cols)"},
+      {kRuleColindSorted, "column indices must be sorted and unique per row"},
+      {kRuleValuesFinite, "stored values must be finite (no NaN/Inf)"},
+      {kRuleSymPattern, "structural symmetry: (i,j) stored implies (j,i)"},
+      {kRuleSymValue, "numeric symmetry: a_ij must equal a_ji within tol"},
+      {kRuleSpdDiagPresent, "SPD input: every diagonal must be stored"},
+      {kRuleSpdDiagPositive, "SPD heuristic: diagonal entries positive"},
+      {kRuleSpdDominance, "SPD heuristic: diagonal dominance (info only)"},
+      {kRuleTriStructure, "triangular factor: no entries past the diagonal"},
+      {kRuleTriDiagPresent, "triangular factor: diagonal stored in every row"},
+      {kRuleTriDiagNonzero, "triangular factor: diagonal must be nonzero"},
+      {kRuleTriDiagUnit, "unit-L convention: L diagonal stored as 1"},
+      {kRuleIluDiagPos, "combined factor: diag_pos[i] must point at (i,i)"},
+      {kRuleIluPivotNonzero, "combined factor: pivots must be nonzero"},
+      {kRuleSparsifyShape, "split parts must keep A's shape"},
+      {kRuleSparsifyPartition, "a_hat + s must partition A exactly"},
+      {kRuleSparsifyDiag, "sparsification must never drop a diagonal"},
+      {kRuleSparsifyCount, "dropped counter must match nnz(S)"},
+      {kRuleScheduleShape, "schedule arrays must be sized/shaped consistently"},
+      {kRuleSchedulePermutation,
+       "rows_by_level must be a permutation of all rows"},
+      {kRuleScheduleConsistent,
+       "level_of_row must agree with the level buckets"},
+      {kRuleScheduleTopology,
+       "every dependence must resolve in an earlier level"},
+      {kRuleScheduleRace,
+       "no row may depend on another row of the same level"},
+      {kRuleRaceOverlap,
+       "dynamic: read of a location written concurrently in the same level"},
+      {kRuleRaceStale, "dynamic: read of a location not yet written"},
+  };
+  return catalog;
+}
+
+}  // namespace spcg::analysis

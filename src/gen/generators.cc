@@ -87,7 +87,7 @@ class SmoothField {
 
 Csr<double> gen_poisson2d(index_t nx, index_t ny) {
   SPCG_CHECK(nx > 0 && ny > 0);
-  const index_t n = nx * ny;
+  const index_t n = checked_dims(nx, ny);
   std::vector<T3> ts;
   ts.reserve(static_cast<std::size_t>(n) * 5);
   auto id = [&](index_t x, index_t y) { return y * nx + x; };
@@ -106,7 +106,7 @@ Csr<double> gen_poisson2d(index_t nx, index_t ny) {
 
 Csr<double> gen_poisson3d(index_t nx, index_t ny, index_t nz) {
   SPCG_CHECK(nx > 0 && ny > 0 && nz > 0);
-  const index_t n = nx * ny * nz;
+  const index_t n = checked_dims(nx, ny, nz);
   std::vector<T3> ts;
   ts.reserve(static_cast<std::size_t>(n) * 7);
   auto id = [&](index_t x, index_t y, index_t z) {
@@ -132,7 +132,7 @@ Csr<double> gen_poisson3d(index_t nx, index_t ny, index_t nz) {
 Csr<double> gen_anisotropic2d(index_t nx, index_t ny, double eps,
                               std::uint64_t seed) {
   SPCG_CHECK(nx > 0 && ny > 0 && eps > 0.0);
-  const index_t n = nx * ny;
+  const index_t n = checked_dims(nx, ny);
   std::vector<T3> ts;
   auto id = [&](index_t x, index_t y) { return y * nx + x; };
   // With seed == 0: the classic uniform operator -eps*u_xx - u_yy.
@@ -172,7 +172,7 @@ Csr<double> gen_varcoef2d(index_t nx, index_t ny, double contrast,
                           std::uint64_t seed) {
   SPCG_CHECK(nx > 0 && ny > 0);
   Rng rng(seed);
-  const index_t n = nx * ny;
+  const index_t n = checked_dims(nx, ny);
   // Cell-centered two-phase coefficient field: a smooth random field,
   // saturated through tanh, yields contiguous high- and low-conductivity
   // phases separated by `contrast` decades (layered/composite media). The
@@ -369,7 +369,7 @@ Csr<double> gen_grid_laplacian(index_t nx, index_t ny, double weight_sigma,
                                double shift, std::uint64_t seed) {
   SPCG_CHECK(nx > 0 && ny > 0 && shift > 0.0);
   Rng rng(seed);
-  const index_t n = nx * ny;
+  const index_t n = checked_dims(nx, ny);
   // Conductances combine a smooth regional factor (supply regions vs weak
   // parasitic regions of the die) with a heavy-tailed per-wire factor.
   // Additionally, ~8% of the horizontal grid lines are weak "routing
@@ -476,7 +476,7 @@ Csr<double> gen_mesh_laplacian(index_t nx, index_t ny, double jitter,
                                double shift, std::uint64_t seed) {
   SPCG_CHECK(nx > 1 && ny > 1 && shift > 0.0);
   Rng rng(seed);
-  const index_t n = nx * ny;
+  const index_t n = checked_dims(nx, ny);
   // Jittered grid vertices; each quad split into two triangles, weights from
   // inverse edge lengths (a positive cotan-like surrogate).
   std::vector<double> px(static_cast<std::size_t>(n)), py(static_cast<std::size_t>(n));
@@ -625,7 +625,7 @@ Csr<double> gen_kernel2d(index_t nx, index_t ny, double radius, double decay,
                          bool oscillate, std::uint64_t seed) {
   SPCG_CHECK(nx > 0 && ny > 0 && radius >= 1.0 && decay > 0.0);
   Rng rng(seed);
-  const index_t n = nx * ny;
+  const index_t n = checked_dims(nx, ny);
   auto id = [&](index_t x, index_t y) { return y * nx + x; };
   const auto rad = static_cast<index_t>(std::floor(radius));
   const double peak = oscillate ? 0.7 * radius : 0.0;
@@ -689,7 +689,7 @@ Csr<double> gen_lattice3d(index_t nx, index_t ny, index_t nz, double tail,
                           std::uint64_t seed) {
   SPCG_CHECK(nx > 0 && ny > 0 && nz > 0 && tail > 0.0);
   Rng rng(seed);
-  const index_t n = nx * ny * nz;
+  const index_t n = checked_dims(nx, ny, nz);
   // Brick-and-mortar composite: one weak interface near the middle of each
   // axis partitions the lattice into eight strong blocks. The three
   // interface cross-sections are a small fraction of the bonds, yet cutting

@@ -76,6 +76,9 @@ void ilu_numeric_in_place(Csr<T>& lu, std::vector<index_t>& diag_pos,
       const index_t dk = diag_pos[static_cast<std::size_t>(k)];
       SPCG_CHECK_MSG(dk >= 0, "missing diagonal in pivot row " << k);
       const T pivot = lu.values[static_cast<std::size_t>(dk)];
+      SPCG_CHECK_MSG(pivot != T{0},
+                     "zero pivot in row " << k << " while eliminating row "
+                                          << i);
       const T lik = lu.values[static_cast<std::size_t>(p)] / pivot;
       lu.values[static_cast<std::size_t>(p)] = lik;
       // Subtract lik * (U-part of row k) from row i, restricted to pattern.

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/race_detector.h"
 #include "precond/ilu.h"
 #include "sparse/csr.h"
 #include "sparse/ops.h"
@@ -65,6 +66,11 @@ class JacobiPreconditioner final : public Preconditioner<T> {
 enum class TrsvExec {
   kSerial,          // reference forward/backward substitution
   kLevelScheduled,  // wavefront-parallel (OpenMP), cuSPARSE-style
+  /// Instrumented race-detecting executor (analysis/race_detector.h): same
+  /// results as kLevelScheduled on a valid schedule, throws spcg::Error on
+  /// any same-level dependence or stale read. Debug/test tool: every SpTRSV
+  /// path can run under the detector by switching this enum.
+  kLevelScheduledChecked,
 };
 
 /// M = L U from an incomplete factorization. Owns the split factors and
@@ -84,9 +90,17 @@ class IluPreconditioner final : public Preconditioner<T> {
     if (exec_ == TrsvExec::kSerial) {
       sptrsv_lower_serial(factors_.l, r, y);
       sptrsv_upper_serial(factors_.u, std::span<const T>(tmp_), z);
-    } else {
+    } else if (exec_ == TrsvExec::kLevelScheduled) {
       sptrsv_lower_levels(factors_.l, l_sched_, r, y);
       sptrsv_upper_levels(factors_.u, u_sched_, std::span<const T>(tmp_), z);
+    } else {
+      const analysis::RaceReport rl =
+          analysis::sptrsv_lower_levels_checked(factors_.l, l_sched_, r, y);
+      const analysis::RaceReport ru = analysis::sptrsv_upper_levels_checked(
+          factors_.u, u_sched_, std::span<const T>(tmp_), z);
+      SPCG_CHECK_MSG(rl.ok() && ru.ok(),
+                     "SpTRSV schedule race: "
+                         << (rl.ok() ? ru : rl).to_diagnostics().to_string(4));
     }
   }
 

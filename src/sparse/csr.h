@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -13,6 +14,34 @@
 namespace spcg {
 
 using index_t = std::int32_t;
+
+/// Largest value representable by index_t; sizes/products must stay below it.
+inline constexpr std::size_t kIndexMax =
+    static_cast<std::size_t>(std::numeric_limits<index_t>::max());
+
+/// Narrow a size to index_t, checking it fits (nnz counters, offsets).
+inline index_t checked_index_cast(std::size_t v) {
+  SPCG_CHECK_MSG(v <= kIndexMax, "size " << v << " overflows index_t");
+  return static_cast<index_t>(v);
+}
+
+/// Product of non-negative dimensions (e.g. nx*ny*nz of a grid generator),
+/// computed in std::size_t and checked to fit index_t — int32 arithmetic on
+/// the factors would silently wrap for grids past ~46k x 46k.
+inline index_t checked_dims(index_t a, index_t b, index_t c = 1) {
+  SPCG_CHECK_MSG(a >= 0 && b >= 0 && c >= 0,
+                 "negative dimension " << a << "x" << b << "x" << c);
+  const std::size_t prod = static_cast<std::size_t>(a) *
+                           static_cast<std::size_t>(b) *
+                           static_cast<std::size_t>(c);
+  SPCG_CHECK_MSG(b == 0 || c == 0 ||
+                     prod / (static_cast<std::size_t>(b) *
+                             static_cast<std::size_t>(c)) ==
+                         static_cast<std::size_t>(a),
+                 "dimension product " << a << "x" << b << "x" << c
+                                      << " overflows std::size_t");
+  return checked_index_cast(prod);
+}
 
 /// CSR sparse matrix with value type T.
 template <class T>
@@ -48,12 +77,13 @@ struct Csr {
   }
 
   /// Value at (i, j), or 0 if the entry is not stored. Binary search.
+  /// Offset arithmetic runs in std::size_t: index_t sums would narrow first.
   [[nodiscard]] T at(index_t i, index_t j) const {
     const auto cols_i = row_cols(i);
     const auto it = std::lower_bound(cols_i.begin(), cols_i.end(), j);
     if (it == cols_i.end() || *it != j) return T{0};
-    return values[static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)] +
-                                           (it - cols_i.begin()))];
+    return values[static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]) +
+                  static_cast<std::size_t>(it - cols_i.begin())];
   }
 
   /// Position of the stored entry (i, j) in colind/values, or -1.
@@ -61,8 +91,9 @@ struct Csr {
     const auto cols_i = row_cols(i);
     const auto it = std::lower_bound(cols_i.begin(), cols_i.end(), j);
     if (it == cols_i.end() || *it != j) return -1;
-    return static_cast<index_t>(rowptr[static_cast<std::size_t>(i)] +
-                                (it - cols_i.begin()));
+    return checked_index_cast(
+        static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]) +
+        static_cast<std::size_t>(it - cols_i.begin()));
   }
 
   /// Throws spcg::Error if any structural invariant is violated.
@@ -101,6 +132,8 @@ struct Triplet {
 template <class T>
 Csr<T> csr_from_triplets(index_t rows, index_t cols,
                          std::vector<Triplet<T>> triplets) {
+  SPCG_CHECK_MSG(triplets.size() <= kIndexMax,
+                 "nnz " << triplets.size() << " overflows index_t");
   for (const auto& t : triplets) {
     SPCG_CHECK_MSG(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols,
                    "triplet (" << t.row << "," << t.col << ") out of range");

@@ -53,7 +53,24 @@ Csr<double> read_matrix_market(std::istream& in) {
     long i = 0, j = 0;
     double v = 1.0;
     es >> i >> j;
-    if (f != "pattern") es >> v;
+    if (f != "pattern") {
+      es >> v;
+      if (es.fail()) {
+        // num_get rejects "nan"/"inf" spellings; parse them explicitly
+        // instead of silently storing 0 for a value the file does carry.
+        es.clear();
+        std::string word;
+        es >> word;
+        std::size_t pos = 0;
+        try {
+          v = std::stod(word, &pos);
+        } catch (const std::exception&) {
+          pos = 0;
+        }
+        SPCG_CHECK_MSG(!word.empty() && pos == word.size(),
+                       "bad value at entry " << k << ": " << line);
+      }
+    }
     SPCG_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
                    "entry out of range: " << line);
     triplets.push_back({static_cast<index_t>(i - 1),

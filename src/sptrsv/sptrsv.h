@@ -76,6 +76,10 @@ void sptrsv_level_scheduled(const Csr<T>& m, const LevelSchedule& sched,
   SPCG_CHECK(static_cast<index_t>(b.size()) == m.rows);
   SPCG_CHECK(static_cast<index_t>(x.size()) == m.rows);
   SPCG_CHECK(static_cast<index_t>(sched.level_of_row.size()) == m.rows);
+  // An exception must not escape an OpenMP region, so a zero/missing
+  // diagonal is flagged into bad_row and thrown after the level completes
+  // (any one offending row suffices for the message).
+  index_t bad_row = -1;
   for (index_t l = 0; l < sched.num_levels(); ++l) {
     const index_t begin = sched.level_ptr[static_cast<std::size_t>(l)];
     const index_t end = sched.level_ptr[static_cast<std::size_t>(l) + 1];
@@ -94,9 +98,17 @@ void sptrsv_level_scheduled(const Csr<T>& m, const LevelSchedule& sched,
         else if (j == i)
           diag = m.values[static_cast<std::size_t>(p)];
       }
-      x[static_cast<std::size_t>(i)] = acc / diag;
+      if (diag == T{0}) {
+#pragma omp atomic write
+        bad_row = i;
+        x[static_cast<std::size_t>(i)] = T{0};  // keep the entry defined
+      } else {
+        x[static_cast<std::size_t>(i)] = acc / diag;
+      }
     }
     // Implicit omp barrier at the end of each level's parallel region.
+    SPCG_CHECK_MSG(bad_row < 0,
+                   "zero or missing diagonal at row " << bad_row);
   }
 }
 
