@@ -1,0 +1,194 @@
+// spcg-serve: trace-replay front end for the runtime layer.
+//
+// Replays a synthetic stream of solve requests (round-robin over a few suite
+// matrices, fresh right-hand side per request) through a SolveService and
+// reports what the runtime layer buys: setup-cache hit rate, service-side
+// latency percentiles, and the measured speedup against the same trace
+// re-running the full per-request pipeline (the pre-runtime call pattern).
+//
+// Usage:
+//   spcg-serve [--requests N] [--matrices M] [--workers W] [--seed S]
+//              [--fill K] [--deadline-ms D] [--no-compare]
+//
+//   --requests N     trace length (default 200)
+//   --matrices M     distinct suite matrices, ids 0..M-1 (default 8, max 107)
+//   --workers W      service worker threads (default 2)
+//   --seed S         base RHS seed (default 1)
+//   --fill K         use ILU(K) instead of ILU(0) (heavier setup)
+//   --deadline-ms D  per-request relative deadline (default: none)
+//   --no-compare     skip the per-request baseline replay
+//
+// Exit codes: 0 = every request ok, 1 = some request failed/expired,
+// 2 = usage error.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/suite.h"
+#include "runtime/runtime.h"
+#include "support/stats.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace spcg;
+
+struct CliOptions {
+  int requests = 200;
+  int matrices = 8;
+  int workers = 2;
+  std::uint64_t seed = 1;
+  index_t fill = -1;  // <0: ILU(0)
+  int deadline_ms = -1;
+  bool compare = true;
+};
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--requests N] [--matrices M] [--workers W] [--seed S]\n"
+               "  [--fill K] [--deadline-ms D] [--no-compare]\n";
+}
+
+bool parse(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int* dst) {
+      if (i + 1 >= argc) return false;
+      *dst = std::stoi(argv[++i]);
+      return true;
+    };
+    if (arg == "--requests") {
+      if (!next_int(&out->requests)) return false;
+    } else if (arg == "--matrices") {
+      if (!next_int(&out->matrices)) return false;
+    } else if (arg == "--workers") {
+      if (!next_int(&out->workers)) return false;
+    } else if (arg == "--seed") {
+      int s = 0;
+      if (!next_int(&s) || s < 0) return false;
+      out->seed = static_cast<std::uint64_t>(s);
+    } else if (arg == "--fill") {
+      int k = 0;
+      if (!next_int(&k) || k < 0) return false;
+      out->fill = static_cast<index_t>(k);
+    } else if (arg == "--deadline-ms") {
+      if (!next_int(&out->deadline_ms)) return false;
+    } else if (arg == "--no-compare") {
+      out->compare = false;
+    } else {
+      return false;
+    }
+  }
+  return out->requests > 0 && out->matrices > 0 &&
+         out->matrices <= suite_size() && out->workers > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse(argc, argv, &cli)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  SpcgOptions opt;
+  opt.pcg.tolerance = 1e-8;
+  if (cli.fill >= 0) {
+    opt.preconditioner = PrecondKind::kIluK;
+    opt.fill_level = cli.fill;
+  }
+
+  // Materialize the working set and the request trace.
+  std::vector<std::shared_ptr<const Csr<double>>> matrices;
+  for (int m = 0; m < cli.matrices; ++m)
+    matrices.push_back(std::make_shared<const Csr<double>>(
+        generate_suite_matrix(static_cast<index_t>(m)).a));
+  struct Trace {
+    int matrix;
+    std::vector<double> b;
+  };
+  std::vector<Trace> trace;
+  trace.reserve(static_cast<std::size_t>(cli.requests));
+  for (int i = 0; i < cli.requests; ++i) {
+    const int m = i % cli.matrices;
+    trace.push_back({m, make_rhs(*matrices[static_cast<std::size_t>(m)],
+                                 cli.seed + static_cast<std::uint64_t>(i))});
+  }
+  std::cout << "spcg-serve: " << cli.requests << " requests over "
+            << cli.matrices << " matrices, " << cli.workers << " worker(s)"
+            << (cli.fill >= 0
+                    ? ", ILU(" + std::to_string(cli.fill) + ")"
+                    : ", ILU(0)")
+            << "\n\n";
+
+  // Replay through the service.
+  WallTimer timer;
+  SolveService<double> service(
+      {cli.workers, static_cast<std::size_t>(cli.matrices) * 2});
+  std::vector<SolveService<double>::Ticket> tickets;
+  tickets.reserve(trace.size());
+  for (Trace& t : trace) {
+    ServiceRequest<double> req;
+    req.a = matrices[static_cast<std::size_t>(t.matrix)];
+    req.b = t.b;  // keep a copy for the comparison replay
+    req.options = opt;
+    if (cli.deadline_ms >= 0)
+      req.deadline = std::chrono::milliseconds(cli.deadline_ms);
+    tickets.push_back(service.submit(std::move(req)));
+  }
+
+  int ok = 0, fallbacks = 0, not_ok = 0;
+  std::vector<double> latency_ms;       // queue + solve, per answered request
+  double est_uncached_seconds = 0.0;    // per-request pipeline estimate
+  latency_ms.reserve(tickets.size());
+  for (auto& t : tickets) {
+    const ServiceReply<double> reply = t.reply.get();
+    if (reply.status == RequestStatus::kOk) {
+      ++ok;
+      if (reply.used_fallback) ++fallbacks;
+      latency_ms.push_back(1e3 * (reply.queue_seconds + reply.solve_seconds));
+      if (reply.setup)
+        est_uncached_seconds += reply.setup->build_seconds + reply.solve_seconds;
+    } else {
+      ++not_ok;
+      std::cerr << "request failed: " << to_string(reply.status)
+                << (reply.error.empty() ? "" : " (" + reply.error + ")")
+                << "\n";
+    }
+  }
+  const double service_seconds = timer.seconds();
+
+  const ServiceStats stats = service.stats();
+  std::cout << "telemetry\n";
+  for (const CounterSample& s : service.telemetry_snapshot())
+    std::cout << "  " << s.name << " = " << s.value << "\n";
+  std::cout << "  setup_cache.hit_rate = " << stats.cache.hit_rate() << "\n\n";
+
+  if (latency_ms.empty()) {
+    std::cout << "latency: no request was answered\n";
+  } else {
+    std::cout << "latency (queue + solve, ms): p50 "
+              << percentile(latency_ms, 50.0) << ", p90 "
+              << percentile(latency_ms, 90.0) << ", p99 "
+              << percentile(latency_ms, 99.0) << "\n";
+  }
+  std::cout << "wall clock: " << service_seconds << " s for " << ok
+            << " ok / " << fallbacks << " fallback / " << not_ok
+            << " not-ok\n";
+  std::cout << "estimated uncached (per-request setup + solve): "
+            << est_uncached_seconds << " s\n";
+
+  if (cli.compare) {
+    // The pre-runtime call pattern: full pipeline per request.
+    timer.reset();
+    for (const Trace& t : trace)
+      spcg_solve(*matrices[static_cast<std::size_t>(t.matrix)], t.b, opt);
+    const double direct_seconds = timer.seconds();
+    std::cout << "per-request spcg_solve replay: " << direct_seconds
+              << " s -> speedup " << direct_seconds / service_seconds
+              << "x\n";
+  }
+  return not_ok == 0 ? 0 : 1;
+}

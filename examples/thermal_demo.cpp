@@ -10,6 +10,7 @@
 #include "core/spcg.h"
 #include "gen/generators.h"
 #include "gpumodel/cost_model.h"
+#include "runtime/session.h"
 #include "support/table.h"
 
 int main() {

@@ -66,39 +66,85 @@ struct SpcgResult {
   }
 };
 
-/// Run the full SPCG pipeline on A x = b.
+/// Everything spcg_solve computes before it sees a right-hand side: the
+/// sparsification decision, the incomplete factors, their triangular split
+/// and both level schedules. Building it once and solving many times is the
+/// paper's amortization story; the runtime layer (src/runtime/) caches and
+/// shares these across solves. The schedules here are the only ones built —
+/// wavefronts_factor is read off the lower schedule instead of a second
+/// inspector pass, and the preconditioner adopts them as-is.
 template <class T>
-SpcgResult<T> spcg_solve(const Csr<T>& a, std::span<const T> b,
-                         const SpcgOptions& opt = {}) {
+struct SpcgSetup {
+  std::optional<SparsifyDecision<T>> decision;  // empty for the baseline
+  IluResult<T> factorization;      // combined LU on Â (or A for baseline)
+  TriangularFactors<T> factors;    // split L/U of the factorization
+  LevelSchedule l_schedule;        // level_schedule(factors.l, kLower)
+  LevelSchedule u_schedule;        // level_schedule(factors.u, kUpper)
+  index_t factor_nnz = 0;
+  index_t wavefronts_factor = 0;   // == l_schedule.num_levels()
+  index_t matrix_wavefronts = 0;
+  double sparsify_seconds = 0.0;
+  double factorization_seconds = 0.0;
+
+  [[nodiscard]] double setup_seconds() const {
+    return sparsify_seconds + factorization_seconds;
+  }
+};
+
+/// Phases 1–2 of the pipeline (sparsify + factorize + inspect), reusable
+/// across any number of right-hand sides.
+template <class T>
+SpcgSetup<T> spcg_setup(const Csr<T>& a, const SpcgOptions& opt = {}) {
   SPCG_CHECK(a.rows == a.cols);
-  SpcgResult<T> res;
+  SpcgSetup<T> s;
 
   // Phase 1: wavefront-aware sparsification (Algorithm 2).
   const Csr<T>* precond_input = &a;
   WallTimer timer;
   if (opt.sparsify_enabled) {
-    res.decision = wavefront_aware_sparsify(a, opt.sparsify);
-    precond_input = &res.decision->chosen.a_hat;
+    s.decision = wavefront_aware_sparsify(a, opt.sparsify);
+    precond_input = &s.decision->chosen.a_hat;
   }
-  res.sparsify_seconds = timer.seconds();
-  res.matrix_wavefronts = opt.sparsify_enabled
-                              ? res.decision->wavefronts_chosen
-                              : count_wavefronts(a);
+  s.sparsify_seconds = timer.seconds();
+  s.matrix_wavefronts = opt.sparsify_enabled ? s.decision->wavefronts_chosen
+                                             : count_wavefronts(a);
 
-  // Phase 2: incomplete factorization of the (sparsified) matrix.
+  // Phase 2: incomplete factorization of the (sparsified) matrix, split into
+  // triangular factors with their level schedules built exactly once.
   timer.reset();
-  res.factorization =
+  s.factorization =
       opt.preconditioner == PrecondKind::kIlu0
           ? ilu0(*precond_input, opt.ilu)
           : iluk(*precond_input, opt.fill_level, opt.ilu, opt.max_row_fill);
-  res.factorization_seconds = timer.seconds();
-  res.factor_nnz = res.factorization.lu.nnz();
-  res.wavefronts_factor =
-      level_schedule(res.factorization.lu, Triangle::kLower).num_levels();
+  s.factor_nnz = s.factorization.lu.nnz();
+  s.factors = split_lu(s.factorization);
+  s.l_schedule = level_schedule(s.factors.l, Triangle::kLower);
+  s.u_schedule = level_schedule(s.factors.u, Triangle::kUpper);
+  s.wavefronts_factor = s.l_schedule.num_levels();
+  s.factorization_seconds = timer.seconds();
+  return s;
+}
 
-  // Phase 3: PCG on the ORIGINAL system with the sparsified preconditioner.
-  timer.reset();
-  IluPreconditioner<T> m(res.factorization, opt.executor);
+/// Run the full SPCG pipeline on A x = b.
+template <class T>
+SpcgResult<T> spcg_solve(const Csr<T>& a, std::span<const T> b,
+                         const SpcgOptions& opt = {}) {
+  SpcgSetup<T> setup = spcg_setup(a, opt);
+  SpcgResult<T> res;
+  res.decision = std::move(setup.decision);
+  res.factorization = std::move(setup.factorization);
+  res.factor_nnz = setup.factor_nnz;
+  res.wavefronts_factor = setup.wavefronts_factor;
+  res.matrix_wavefronts = setup.matrix_wavefronts;
+  res.sparsify_seconds = setup.sparsify_seconds;
+  res.factorization_seconds = setup.factorization_seconds;
+
+  // Phase 3: PCG on the ORIGINAL system with the sparsified preconditioner,
+  // adopting the schedules the setup already built.
+  WallTimer timer;
+  IluPreconditioner<T> m(std::move(setup.factors),
+                         std::move(setup.l_schedule),
+                         std::move(setup.u_schedule), opt.executor);
   res.solve = pcg(a, b, m, opt.pcg);
   res.solve_seconds = timer.seconds();
   return res;
@@ -111,51 +157,14 @@ SpcgResult<T> spcg_solve(const Csr<T>& a, const std::vector<T>& b,
   return spcg_solve(a, std::span<const T>(b), opt);
 }
 
-/// Select the best-converging K ∈ `candidates` for the *baseline* PCG-ILU(K)
-/// on matrix A (paper §3.3: "we select the best converging K ... for the
-/// non-sparsified PCG-ILU(K). We then use this value to measure the effect of
-/// sparsification"). Best = fewest iterations among converging runs, ties to
-/// the smaller K; when nothing converges, the K with the smallest final
-/// residual.
+/// Best-K selection for the baseline PCG-ILU(K) (paper §3.3): the winner of
+/// one run per candidate K. Produced by select_best_fill_level in
+/// runtime/session.h, which routes every candidate through a SolverSession
+/// so the matrix fingerprint and cached setups are shared across candidates.
 template <class T>
 struct KSelection {
   index_t k = 0;
   SpcgResult<T> baseline;  // the run that won
 };
-
-template <class T>
-KSelection<T> select_best_fill_level(const Csr<T>& a, std::span<const T> b,
-                                     SpcgOptions opt,
-                                     std::span<const index_t> candidates) {
-  SPCG_CHECK(!candidates.empty());
-  opt.sparsify_enabled = false;
-  opt.preconditioner = PrecondKind::kIluK;
-
-  std::optional<KSelection<T>> best;
-  for (const index_t k : candidates) {
-    opt.fill_level = k;
-    SpcgResult<T> run = spcg_solve(a, b, opt);
-    const bool better = [&] {
-      if (!best) return true;
-      const bool run_conv = run.solve.converged();
-      const bool best_conv = best->baseline.solve.converged();
-      if (run_conv != best_conv) return run_conv;
-      if (run_conv)
-        return run.solve.iterations < best->baseline.solve.iterations;
-      return run.solve.final_residual_norm <
-             best->baseline.solve.final_residual_norm;
-    }();
-    if (better) best = KSelection<T>{k, std::move(run)};
-  }
-  return std::move(*best);
-}
-
-template <class T>
-KSelection<T> select_best_fill_level(const Csr<T>& a, const std::vector<T>& b,
-                                     const SpcgOptions& opt,
-                                     const std::vector<index_t>& candidates) {
-  return select_best_fill_level(a, std::span<const T>(b), opt,
-                                std::span<const index_t>(candidates));
-}
 
 }  // namespace spcg

@@ -73,6 +73,64 @@ enum class TrsvExec {
   kLevelScheduledChecked,
 };
 
+namespace detail {
+
+/// The two triangular solves of one ILU apply (L y = r, U z = y) under the
+/// chosen executor. `tmp` holds the intermediate y and must not alias r or z.
+/// Shared by IluPreconditioner (owning) and IluApplier (non-owning view).
+template <class T>
+void ilu_apply(const TriangularFactors<T>& f, const LevelSchedule& l_sched,
+               const LevelSchedule& u_sched, TrsvExec exec,
+               std::span<const T> r, std::span<T> tmp, std::span<T> z) {
+  if (exec == TrsvExec::kSerial) {
+    sptrsv_lower_serial(f.l, r, tmp);
+    sptrsv_upper_serial(f.u, std::span<const T>(tmp.data(), tmp.size()), z);
+  } else if (exec == TrsvExec::kLevelScheduled) {
+    sptrsv_lower_levels(f.l, l_sched, r, tmp);
+    sptrsv_upper_levels(f.u, u_sched,
+                        std::span<const T>(tmp.data(), tmp.size()), z);
+  } else {
+    const analysis::RaceReport rl =
+        analysis::sptrsv_lower_levels_checked(f.l, l_sched, r, tmp);
+    const analysis::RaceReport ru = analysis::sptrsv_upper_levels_checked(
+        f.u, u_sched, std::span<const T>(tmp.data(), tmp.size()), z);
+    SPCG_CHECK_MSG(rl.ok() && ru.ok(),
+                   "SpTRSV schedule race: "
+                       << (rl.ok() ? ru : rl).to_diagnostics().to_string(4));
+  }
+}
+
+}  // namespace detail
+
+/// Non-owning ILU apply engine over factors and schedules that live
+/// elsewhere (e.g. a cached, shared SolverSetup). Each applier carries its
+/// own scratch buffer, so any number of appliers can solve concurrently over
+/// the same immutable factors — unlike sharing one IluPreconditioner, whose
+/// mutable scratch would race. The referenced objects must outlive the
+/// applier.
+template <class T>
+class IluApplier final : public Preconditioner<T> {
+ public:
+  IluApplier(const TriangularFactors<T>& factors, const LevelSchedule& l_sched,
+             const LevelSchedule& u_sched, TrsvExec exec = TrsvExec::kSerial)
+      : exec_(exec), factors_(&factors), l_sched_(&l_sched),
+        u_sched_(&u_sched), tmp_(static_cast<std::size_t>(factors.l.rows)) {}
+
+  void apply(std::span<const T> r, std::span<T> z) const override {
+    detail::ilu_apply(*factors_, *l_sched_, *u_sched_, exec_, r,
+                      std::span<T>(tmp_), z);
+  }
+
+  [[nodiscard]] index_t rows() const override { return factors_->l.rows; }
+
+ private:
+  TrsvExec exec_;
+  const TriangularFactors<T>* factors_;
+  const LevelSchedule* l_sched_;
+  const LevelSchedule* u_sched_;
+  mutable std::vector<T> tmp_;  // intermediate y in L y = r, U z = y
+};
+
 /// M = L U from an incomplete factorization. Owns the split factors and
 /// their level schedules (built once at construction = the inspector phase).
 template <class T>
@@ -85,23 +143,17 @@ class IluPreconditioner final : public Preconditioner<T> {
     tmp_.resize(static_cast<std::size_t>(factors_.l.rows));
   }
 
+  /// Adopt factors whose schedules were already built (e.g. by spcg_setup),
+  /// skipping the redundant inspector pass.
+  IluPreconditioner(TriangularFactors<T> factors, LevelSchedule l_sched,
+                    LevelSchedule u_sched, TrsvExec exec = TrsvExec::kSerial)
+      : exec_(exec), factors_(std::move(factors)),
+        l_sched_(std::move(l_sched)), u_sched_(std::move(u_sched)),
+        tmp_(static_cast<std::size_t>(factors_.l.rows)) {}
+
   void apply(std::span<const T> r, std::span<T> z) const override {
-    std::span<T> y(tmp_);
-    if (exec_ == TrsvExec::kSerial) {
-      sptrsv_lower_serial(factors_.l, r, y);
-      sptrsv_upper_serial(factors_.u, std::span<const T>(tmp_), z);
-    } else if (exec_ == TrsvExec::kLevelScheduled) {
-      sptrsv_lower_levels(factors_.l, l_sched_, r, y);
-      sptrsv_upper_levels(factors_.u, u_sched_, std::span<const T>(tmp_), z);
-    } else {
-      const analysis::RaceReport rl =
-          analysis::sptrsv_lower_levels_checked(factors_.l, l_sched_, r, y);
-      const analysis::RaceReport ru = analysis::sptrsv_upper_levels_checked(
-          factors_.u, u_sched_, std::span<const T>(tmp_), z);
-      SPCG_CHECK_MSG(rl.ok() && ru.ok(),
-                     "SpTRSV schedule race: "
-                         << (rl.ok() ? ru : rl).to_diagnostics().to_string(4));
-    }
+    detail::ilu_apply(factors_, l_sched_, u_sched_, exec_, r,
+                      std::span<T>(tmp_), z);
   }
 
   [[nodiscard]] index_t rows() const override { return factors_.l.rows; }

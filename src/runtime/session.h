@@ -1,0 +1,253 @@
+// SolverSession — setup-once / solve-many handle over one linear system.
+//
+// A session pins (matrix, setup options) to an immutable, shareable
+// SolverSetup: the sparsify decision, the ILU factors and both precomputed
+// level schedules. Construction either builds the setup or fetches it from a
+// SetupCache (so concurrent sessions on the same system share one setup);
+// every subsequent solve reuses it for any number of right-hand sides,
+// individually or as a fused multi-RHS batch.
+//
+// Thread safety: solve() and solve_batch() are const and allocate their own
+// scratch (each solve builds a fresh IluApplier over the shared immutable
+// factors), so one session may serve many threads concurrently.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/spcg.h"
+#include "precond/preconditioner.h"
+#include "runtime/batch.h"
+#include "runtime/fingerprint.h"
+#include "runtime/setup_cache.h"
+#include "support/timer.h"
+
+namespace spcg {
+
+/// One solve through a session. Setup artifacts are not duplicated here —
+/// read them off the session (or convert with SolverSession::to_spcg_result
+/// when the classic SpcgResult shape is needed).
+template <class T>
+struct SessionSolveResult {
+  SolveResult<T> solve;
+  double solve_seconds = 0.0;
+};
+
+/// How solve_batch executes a block of right-hand sides.
+struct BatchOptions {
+  enum class Mode {
+    kFused,        // one batched PCG: SpMV + SpTRSV sweeps fused across RHS
+    kIndependent,  // per-RHS pcg() calls, optionally across threads
+  };
+  Mode mode = Mode::kFused;
+  int threads = 1;  // worker threads for kIndependent (clamped to batch size)
+};
+
+template <class T>
+class SolverSession {
+ public:
+  /// Share ownership of the matrix (the usual service path).
+  SolverSession(std::shared_ptr<const Csr<T>> a, SpcgOptions opt,
+                std::shared_ptr<SetupCache<T>> cache = nullptr)
+      : a_(std::move(a)), opt_(std::move(opt)), cache_(std::move(cache)) {
+    init(fingerprint(*a_));
+  }
+
+  /// Borrow a caller-owned matrix (must outlive the session).
+  SolverSession(const Csr<T>& a, SpcgOptions opt,
+                std::shared_ptr<SetupCache<T>> cache = nullptr)
+      : SolverSession(std::shared_ptr<const Csr<T>>(&a, [](const Csr<T>*) {}),
+                      std::move(opt), std::move(cache)) {}
+
+  /// Borrow with a precomputed fingerprint, so callers probing several
+  /// option sets against one matrix (select_best_fill_level) hash it once.
+  SolverSession(const Csr<T>& a, const MatrixFingerprint& fp, SpcgOptions opt,
+                std::shared_ptr<SetupCache<T>> cache = nullptr)
+      : a_(std::shared_ptr<const Csr<T>>(&a, [](const Csr<T>*) {})),
+        opt_(std::move(opt)), cache_(std::move(cache)) {
+    init(fp);
+  }
+
+  [[nodiscard]] const Csr<T>& matrix() const { return *a_; }
+  [[nodiscard]] const SpcgOptions& options() const { return opt_; }
+  [[nodiscard]] const SpcgSetup<T>& setup() const { return setup_->artifacts; }
+  [[nodiscard]] std::shared_ptr<const SolverSetup<T>> shared_setup() const {
+    return setup_;
+  }
+  [[nodiscard]] const SetupKey& key() const { return setup_->key; }
+  /// Whether construction found the setup in the cache (false when built,
+  /// or when the session has no cache).
+  [[nodiscard]] bool setup_cache_hit() const { return cache_hit_; }
+
+  /// Solve A x = b with the cached setup. Safe to call concurrently.
+  SessionSolveResult<T> solve(std::span<const T> b) const {
+    SessionSolveResult<T> out;
+    WallTimer timer;
+    const IluApplier<T> m(setup_->artifacts.factors,
+                          setup_->artifacts.l_schedule,
+                          setup_->artifacts.u_schedule, opt_.executor);
+    out.solve = pcg(*a_, b, m, opt_.pcg);
+    out.solve_seconds = timer.seconds();
+    return out;
+  }
+
+  SessionSolveResult<T> solve(const std::vector<T>& b) const {
+    return solve(std::span<const T>(b));
+  }
+
+  /// Solve one batch of right-hand sides over the shared setup. Results per
+  /// column match sequential solve() calls (identical arithmetic order in
+  /// the fused kernels).
+  std::vector<SessionSolveResult<T>> solve_batch(
+      std::span<const std::vector<T>> bs, BatchOptions batch = {}) const {
+    std::vector<SessionSolveResult<T>> out(bs.size());
+    if (bs.empty()) return out;
+
+    // The fused path drives the level-scheduled multi-RHS kernels; the
+    // instrumented checked executor has no multi-RHS counterpart, so it
+    // (like an explicit request) routes through independent solves.
+    const bool fused = batch.mode == BatchOptions::Mode::kFused &&
+                       opt_.executor != TrsvExec::kLevelScheduledChecked;
+    if (fused) {
+      WallTimer timer;
+      std::vector<SolveResult<T>> solved =
+          pcg_batched(*a_, bs, setup_->artifacts.factors,
+                      setup_->artifacts.l_schedule,
+                      setup_->artifacts.u_schedule, opt_.pcg);
+      const double elapsed = timer.seconds();
+      for (std::size_t c = 0; c < bs.size(); ++c) {
+        out[c].solve = std::move(solved[c]);
+        out[c].solve_seconds = elapsed;  // shared sweep: per-batch wall clock
+      }
+      return out;
+    }
+
+    const int workers = std::max(
+        1, std::min<int>(batch.threads, static_cast<int>(bs.size())));
+    if (workers == 1) {
+      for (std::size_t c = 0; c < bs.size(); ++c) out[c] = solve(bs[c]);
+      return out;
+    }
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(workers));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          for (std::size_t c = static_cast<std::size_t>(w); c < bs.size();
+               c += static_cast<std::size_t>(workers))
+            out[c] = solve(bs[c]);
+        } catch (...) {
+          errors[static_cast<std::size_t>(w)] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+    return out;
+  }
+
+  /// Materialize the classic SpcgResult shape (copies the shared setup
+  /// artifacts; intended for reporting paths, not the solve hot loop).
+  SpcgResult<T> to_spcg_result(SessionSolveResult<T> r) const {
+    const SpcgSetup<T>& s = setup_->artifacts;
+    SpcgResult<T> out;
+    out.solve = std::move(r.solve);
+    out.decision = s.decision;
+    out.factorization = s.factorization;
+    out.factor_nnz = s.factor_nnz;
+    out.wavefronts_factor = s.wavefronts_factor;
+    out.matrix_wavefronts = s.matrix_wavefronts;
+    out.sparsify_seconds = s.sparsify_seconds;
+    out.factorization_seconds = s.factorization_seconds;
+    out.solve_seconds = r.solve_seconds;
+    return out;
+  }
+
+ private:
+  void init(const MatrixFingerprint& fp) {
+    const SetupKey key = make_setup_key(fp, opt_);
+    if (cache_) {
+      setup_ = cache_->get_or_build(
+          key, [&] { return spcg_setup(*a_, opt_); }, &cache_hit_);
+    } else {
+      auto built = std::make_shared<SolverSetup<T>>();
+      built->key = key;
+      WallTimer timer;
+      built->artifacts = spcg_setup(*a_, opt_);
+      built->build_seconds = timer.seconds();
+      setup_ = std::move(built);
+    }
+  }
+
+  std::shared_ptr<const Csr<T>> a_;
+  SpcgOptions opt_;
+  std::shared_ptr<SetupCache<T>> cache_;
+  std::shared_ptr<const SolverSetup<T>> setup_;
+  bool cache_hit_ = false;
+};
+
+/// Select the best-converging K ∈ `candidates` for the *baseline* PCG-ILU(K)
+/// on matrix A (paper §3.3: "we select the best converging K ... for the
+/// non-sparsified PCG-ILU(K). We then use this value to measure the effect
+/// of sparsification"). Best = fewest iterations among converging runs, ties
+/// to the smaller K; when nothing converges, the K with the smallest final
+/// residual.
+///
+/// Every candidate runs through a SolverSession against one shared cache:
+/// the matrix is fingerprinted once for all candidates, and repeated
+/// selections (or a later solve at the winning K) reuse the cached setups
+/// instead of re-running the pipeline.
+template <class T>
+KSelection<T> select_best_fill_level(
+    const Csr<T>& a, std::span<const T> b, SpcgOptions opt,
+    std::span<const index_t> candidates,
+    std::shared_ptr<SetupCache<T>> cache = nullptr) {
+  SPCG_CHECK(!candidates.empty());
+  opt.sparsify_enabled = false;
+  opt.preconditioner = PrecondKind::kIluK;
+  if (!cache) cache = std::make_shared<SetupCache<T>>(candidates.size());
+  const MatrixFingerprint fp = fingerprint(a);
+
+  struct Best {
+    index_t k;
+    SolverSession<T> session;
+    SessionSolveResult<T> run;
+  };
+  std::optional<Best> best;
+  for (const index_t k : candidates) {
+    opt.fill_level = k;
+    SolverSession<T> session(a, fp, opt, cache);
+    SessionSolveResult<T> run = session.solve(b);
+    const bool better = [&] {
+      if (!best) return true;
+      const bool run_conv = run.solve.converged();
+      const bool best_conv = best->run.solve.converged();
+      if (run_conv != best_conv) return run_conv;
+      if (run_conv) return run.solve.iterations < best->run.solve.iterations;
+      return run.solve.final_residual_norm <
+             best->run.solve.final_residual_norm;
+    }();
+    if (better) best = Best{k, std::move(session), std::move(run)};
+  }
+  return KSelection<T>{best->k,
+                       best->session.to_spcg_result(std::move(best->run))};
+}
+
+template <class T>
+KSelection<T> select_best_fill_level(
+    const Csr<T>& a, const std::vector<T>& b, const SpcgOptions& opt,
+    const std::vector<index_t>& candidates,
+    std::shared_ptr<SetupCache<T>> cache = nullptr) {
+  return select_best_fill_level(a, std::span<const T>(b), opt,
+                                std::span<const index_t>(candidates),
+                                std::move(cache));
+}
+
+}  // namespace spcg

@@ -1,0 +1,158 @@
+// SetupCache — thread-safe LRU of shared, immutable solver setups.
+//
+// The expensive half of every SPCG run (Algorithm 2 sparsification, ILU
+// factorization, level-schedule inspection) depends only on (matrix, setup
+// options). The cache maps that SetupKey to a shared_ptr<const SolverSetup>
+// so concurrent sessions solving the same system share one setup instead of
+// rebuilding it per request.
+//
+// Concurrency model: each entry is a shared_future. A miss inserts the
+// future under the lock, then builds *outside* the lock and fulfills it —
+// other threads that race to the same key block on the future instead of
+// duplicating the build. A build failure erases the entry (and rethrows to
+// every waiter), so a later request retries instead of caching the error.
+// Eviction drops the least-recently-used entry; in-flight users keep their
+// setups alive through the shared_ptr, so eviction never invalidates a
+// running solve.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/spcg.h"
+#include "runtime/fingerprint.h"
+#include "support/telemetry.h"
+#include "support/timer.h"
+
+namespace spcg {
+
+/// A cached, immutable setup: the key it was built under plus the artifacts.
+template <class T>
+struct SolverSetup {
+  SetupKey key;
+  SpcgSetup<T> artifacts;
+  double build_seconds = 0.0;  // wall-clock spent building this entry
+};
+
+/// Counter snapshot of one cache.
+struct SetupCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+template <class T>
+class SetupCache {
+ public:
+  using SetupPtr = std::shared_ptr<const SolverSetup<T>>;
+
+  /// `capacity` = maximum retained entries (>= 1).
+  explicit SetupCache(std::size_t capacity = 16)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The setup for (a, opt), built via spcg_setup on a miss.
+  SetupPtr get_or_build(const Csr<T>& a, const SpcgOptions& opt,
+                        bool* was_hit = nullptr) {
+    return get_or_build(make_setup_key(a, opt),
+                        [&] { return spcg_setup(a, opt); }, was_hit);
+  }
+
+  /// Same with a precomputed key (callers that fingerprint once and reuse it
+  /// across several option sets, e.g. select_best_fill_level).
+  SetupPtr get_or_build(const SetupKey& key,
+                        const std::function<SpcgSetup<T>()>& build,
+                        bool* was_hit = nullptr) {
+    std::promise<SetupPtr> promise;
+    std::shared_future<SetupPtr> future;
+    std::uint64_t my_generation = 0;
+    bool build_here = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = map_.find(key);
+      if (it != map_.end()) {
+        hits_.add();
+        if (was_hit) *was_hit = true;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch
+        future = it->second.future;
+      } else {
+        misses_.add();
+        if (was_hit) *was_hit = false;
+        future = promise.get_future().share();
+        lru_.push_front(key);
+        my_generation = ++generation_;
+        map_.emplace(key, Entry{future, lru_.begin(), my_generation});
+        build_here = true;
+        while (map_.size() > capacity_) {
+          const SetupKey& victim = lru_.back();  // never the key just added
+          map_.erase(victim);
+          lru_.pop_back();
+          evictions_.add();
+        }
+      }
+    }
+    if (build_here) {
+      try {
+        WallTimer timer;
+        auto setup = std::make_shared<SolverSetup<T>>();
+        setup->key = key;
+        setup->artifacts = build();
+        setup->build_seconds = timer.seconds();
+        promise.set_value(std::move(setup));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+        // Drop the poisoned entry (unless it was already evicted or
+        // replaced) so the next request retries the build.
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto it = map_.find(key);
+        if (it != map_.end() && it->second.generation == my_generation) {
+          lru_.erase(it->second.lru_it);
+          map_.erase(it);
+        }
+      }
+    }
+    return future.get();  // rethrows the build error to every waiter
+  }
+
+  [[nodiscard]] SetupCacheStats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return {hits_.value(), misses_.value(), evictions_.value(), map_.size()};
+  }
+
+  /// Drop every entry (in-flight users keep theirs via shared_ptr).
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_future<SetupPtr> future;
+    typename std::list<SetupKey>::iterator lru_it;
+    std::uint64_t generation = 0;  // distinguishes re-inserts of one key
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<SetupKey> lru_;  // front = most recently used
+  std::unordered_map<SetupKey, Entry, SetupKeyHash> map_;
+  std::uint64_t generation_ = 0;
+  Counter hits_, misses_, evictions_;
+};
+
+}  // namespace spcg

@@ -1,0 +1,326 @@
+// SolveService — asynchronous solver-as-a-service front end.
+//
+// A fixed worker pool drains a FIFO of solve requests. Each request is
+// answered through a SolverSession backed by the service-wide SetupCache, so
+// repeated traffic against the same systems pays the setup phase once.
+// Callers get a future plus a cancellation handle; requests carry optional
+// deadlines (checked when a worker picks the request up and again between
+// the primary attempt and the fallback — a running PCG is never interrupted
+// mid-iteration).
+//
+// Graceful degradation: when the sparsified pipeline breaks (setup throws,
+// e.g. ILU breakdown with pivot boosting disabled) or fails to converge, the
+// worker automatically retries with the non-sparsified baseline (pivot
+// boosting forced on) and reports the fallback and its reason in the reply.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/spcg.h"
+#include "runtime/session.h"
+#include "runtime/setup_cache.h"
+#include "support/error.h"
+#include "support/telemetry.h"
+
+namespace spcg {
+
+/// One async solve request. The matrix is shared (requests against the same
+/// system reuse one allocation and one cached setup).
+template <class T>
+struct ServiceRequest {
+  std::shared_ptr<const Csr<T>> a;
+  std::vector<T> b;
+  SpcgOptions options;
+  /// Relative deadline from submission; expired requests are answered with
+  /// kDeadlineExpired instead of being solved.
+  std::optional<std::chrono::steady_clock::duration> deadline;
+};
+
+enum class RequestStatus {
+  kOk,               // solved (inspect reply.solve.status for convergence)
+  kDeadlineExpired,  // deadline passed before/between solve attempts
+  kCancelled,        // cancellation observed before the solve started
+  kFailed,           // both primary and fallback attempts threw
+};
+
+inline const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kDeadlineExpired: return "deadline-expired";
+    case RequestStatus::kCancelled: return "cancelled";
+    case RequestStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+template <class T>
+struct ServiceReply {
+  RequestStatus status = RequestStatus::kFailed;
+  SolveResult<T> solve;            // valid when status == kOk
+  bool used_fallback = false;      // baseline retry produced `solve`
+  std::string fallback_reason;     // why the primary attempt was abandoned
+  std::string error;               // failure detail when status == kFailed
+  bool setup_cache_hit = false;    // setup of the *answering* attempt
+  double queue_seconds = 0.0;      // submission -> worker pickup
+  double solve_seconds = 0.0;      // PCG wall clock of the answering attempt
+  std::shared_ptr<const SolverSetup<T>> setup;  // shared artifacts (if any)
+};
+
+/// Aggregate counters of one service (see also SetupCacheStats).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  SetupCacheStats cache;
+};
+
+template <class T>
+class SolveService {
+ public:
+  struct Options {
+    int workers = 2;
+    std::size_t cache_capacity = 16;
+  };
+
+  /// Future + cancellation handle for one submitted request.
+  struct Ticket {
+    std::uint64_t id = 0;
+    std::future<ServiceReply<T>> reply;
+    std::shared_ptr<std::atomic<bool>> cancel_flag;
+
+    /// Best-effort: a request already being solved completes normally.
+    void request_cancel() const {
+      cancel_flag->store(true, std::memory_order_relaxed);
+    }
+  };
+
+  explicit SolveService(Options opt = {})
+      : cache_(std::make_shared<SetupCache<T>>(opt.cache_capacity)),
+        submitted_(telemetry_.counter("service.submitted")),
+        completed_(telemetry_.counter("service.completed")),
+        fallbacks_(telemetry_.counter("service.fallbacks")),
+        deadline_expired_(telemetry_.counter("service.deadline_expired")),
+        cancelled_(telemetry_.counter("service.cancelled")),
+        failed_(telemetry_.counter("service.failed")) {
+    const int workers = std::max(1, opt.workers);
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~SolveService() { shutdown(); }
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Enqueue a request; throws spcg::Error after shutdown().
+  Ticket submit(ServiceRequest<T> request) {
+    SPCG_CHECK_MSG(request.a != nullptr, "request has no matrix");
+    Job job;
+    job.request = std::move(request);
+    job.submitted_at = std::chrono::steady_clock::now();
+    if (job.request.deadline)
+      job.deadline_at = job.submitted_at + *job.request.deadline;
+    job.cancel = std::make_shared<std::atomic<bool>>(false);
+
+    Ticket ticket;
+    ticket.reply = job.promise.get_future();
+    ticket.cancel_flag = job.cancel;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      SPCG_CHECK_MSG(accepting_, "submit() after shutdown()");
+      job.id = ticket.id = next_id_++;
+      queue_.push_back(std::move(job));
+    }
+    submitted_.add();
+    cv_.notify_one();
+    return ticket;
+  }
+
+  /// Stop accepting work, drain the queue, join the workers. Every
+  /// outstanding future is fulfilled before this returns. Idempotent.
+  void shutdown() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!accepting_ && workers_.empty()) return;
+      accepting_ = false;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_)
+      if (t.joinable()) t.join();
+    workers_.clear();
+  }
+
+  [[nodiscard]] ServiceStats stats() const {
+    ServiceStats s;
+    s.submitted = submitted_.value();
+    s.completed = completed_.value();
+    s.fallbacks = fallbacks_.value();
+    s.deadline_expired = deadline_expired_.value();
+    s.cancelled = cancelled_.value();
+    s.failed = failed_.value();
+    s.cache = cache_->stats();
+    return s;
+  }
+
+  /// All service counters plus the cache's, for logging/CLIs.
+  [[nodiscard]] std::vector<CounterSample> telemetry_snapshot() const {
+    std::vector<CounterSample> out = telemetry_.snapshot();
+    const SetupCacheStats c = cache_->stats();
+    out.push_back({"setup_cache.entries", c.entries});
+    out.push_back({"setup_cache.evictions", c.evictions});
+    out.push_back({"setup_cache.hits", c.hits});
+    out.push_back({"setup_cache.misses", c.misses});
+    return out;
+  }
+
+  [[nodiscard]] const std::shared_ptr<SetupCache<T>>& cache() const {
+    return cache_;
+  }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    ServiceRequest<T> request;
+    std::promise<ServiceReply<T>> promise;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::chrono::steady_clock::time_point submitted_at;
+    std::optional<std::chrono::steady_clock::time_point> deadline_at;
+  };
+
+  void worker_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
+        if (queue_.empty()) return;  // draining finished
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      ServiceReply<T> reply;
+      try {
+        reply = process(job);
+      } catch (const std::exception& e) {
+        reply.status = RequestStatus::kFailed;  // defensive; process() catches
+        reply.error = e.what();
+        failed_.add();
+      }
+      completed_.add();
+      job.promise.set_value(std::move(reply));
+    }
+  }
+
+  [[nodiscard]] bool expired(const Job& job) const {
+    return job.deadline_at &&
+           std::chrono::steady_clock::now() > *job.deadline_at;
+  }
+
+  ServiceReply<T> process(const Job& job) {
+    ServiceReply<T> reply;
+    reply.queue_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job.submitted_at)
+            .count();
+    if (job.cancel->load(std::memory_order_relaxed)) {
+      reply.status = RequestStatus::kCancelled;
+      cancelled_.add();
+      return reply;
+    }
+    if (expired(job)) {
+      reply.status = RequestStatus::kDeadlineExpired;
+      deadline_expired_.add();
+      return reply;
+    }
+
+    // Primary attempt with the requested options.
+    try {
+      SolverSession<T> session(job.request.a, job.request.options, cache_);
+      SessionSolveResult<T> run = session.solve(job.request.b);
+      reply.setup_cache_hit = session.setup_cache_hit();
+      reply.setup = session.shared_setup();
+      reply.solve_seconds = run.solve_seconds;
+      if (run.solve.converged() || !job.request.options.sparsify_enabled) {
+        // Converged, or already the baseline: nothing left to degrade to.
+        reply.status = RequestStatus::kOk;
+        reply.solve = std::move(run.solve);
+        return reply;
+      }
+      reply.fallback_reason = std::string("primary did not converge (") +
+                              std::to_string(run.solve.iterations) +
+                              " iterations)";
+    } catch (const std::exception& e) {
+      if (!job.request.options.sparsify_enabled) {
+        reply.status = RequestStatus::kFailed;
+        reply.error = e.what();
+        failed_.add();
+        return reply;
+      }
+      reply.fallback_reason = e.what();
+    }
+
+    // Degraded attempt: non-sparsified baseline, pivot boosting forced on.
+    fallbacks_.add();
+    if (job.cancel->load(std::memory_order_relaxed)) {
+      reply.status = RequestStatus::kCancelled;
+      cancelled_.add();
+      return reply;
+    }
+    if (expired(job)) {
+      reply.status = RequestStatus::kDeadlineExpired;
+      deadline_expired_.add();
+      return reply;
+    }
+    try {
+      SpcgOptions baseline = job.request.options;
+      baseline.sparsify_enabled = false;
+      baseline.ilu.boost_zero_pivots = true;
+      SolverSession<T> session(job.request.a, baseline, cache_);
+      SessionSolveResult<T> run = session.solve(job.request.b);
+      reply.status = RequestStatus::kOk;
+      reply.used_fallback = true;
+      reply.solve = std::move(run.solve);
+      reply.setup_cache_hit = session.setup_cache_hit();
+      reply.setup = session.shared_setup();
+      reply.solve_seconds = run.solve_seconds;
+    } catch (const std::exception& e) {
+      reply.status = RequestStatus::kFailed;
+      reply.error = reply.fallback_reason + "; fallback: " + e.what();
+      failed_.add();
+    }
+    return reply;
+  }
+
+  std::shared_ptr<SetupCache<T>> cache_;
+  TelemetryRegistry telemetry_;
+  Counter& submitted_;
+  Counter& completed_;
+  Counter& fallbacks_;
+  Counter& deadline_expired_;
+  Counter& cancelled_;
+  Counter& failed_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool accepting_ = true;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spcg

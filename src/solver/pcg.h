@@ -57,16 +57,24 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
   SolveResult<T> res;
   res.x.assign(n, T{0});  // x0 = 0
 
+  const double b_norm = static_cast<double>(norm2(b));
+  if (b_norm == 0.0) {
+    // b = 0 has the exact solution x = 0. Under relative tolerance the
+    // threshold tolerance*||b|| would be 0 and ||r|| < 0 can never hold, so
+    // the solver could only exit at max_iterations; answer directly instead.
+    res.status = SolveStatus::kConverged;
+    if (opt.record_history) res.residual_history.push_back(0.0);
+    return res;
+  }
+
   std::vector<T> r(b.begin(), b.end());  // r0 = b - A*0 = b
   std::vector<T> z(n), p(n), w(n);
   m.apply(r, std::span<T>(z));
   p = z;
 
   T rz = dot(std::span<const T>(r), std::span<const T>(z));
-  const double b_norm = static_cast<double>(norm2(std::span<const T>(b)));
   const double target =
-      opt.relative ? opt.tolerance * (b_norm > 0.0 ? b_norm : 1.0)
-                   : opt.tolerance;
+      opt.relative ? opt.tolerance * b_norm : opt.tolerance;  // b_norm > 0
 
   double r_norm = static_cast<double>(norm2(std::span<const T>(r)));
   if (opt.record_history) res.residual_history.push_back(r_norm);

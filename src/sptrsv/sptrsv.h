@@ -69,6 +69,51 @@ void sptrsv_upper_serial(const Csr<T>& u, std::span<const T> b,
 
 namespace detail {
 
+/// Multi-RHS variant: one level sweep serves every column, so the per-level
+/// barrier cost is paid once per wavefront instead of once per (wavefront,
+/// column). Per-row, per-column arithmetic matches the single-RHS kernels
+/// entry for entry, so each column's solution is bitwise identical.
+template <class T, bool kLowerTri>
+void sptrsv_level_scheduled_multi(const Csr<T>& m, const LevelSchedule& sched,
+                                  std::span<const T* const> bs,
+                                  std::span<T* const> xs) {
+  SPCG_CHECK(m.rows == m.cols);
+  SPCG_CHECK(bs.size() == xs.size());
+  SPCG_CHECK(static_cast<index_t>(sched.level_of_row.size()) == m.rows);
+  index_t bad_row = -1;
+  for (index_t l = 0; l < sched.num_levels(); ++l) {
+    const index_t begin = sched.level_ptr[static_cast<std::size_t>(l)];
+    const index_t end = sched.level_ptr[static_cast<std::size_t>(l) + 1];
+#pragma omp parallel for schedule(static)
+    for (index_t s = begin; s < end; ++s) {
+      const index_t i = sched.rows_by_level[static_cast<std::size_t>(s)];
+      for (std::size_t c = 0; c < bs.size(); ++c) {
+        T acc = bs[c][static_cast<std::size_t>(i)];
+        T diag{0};
+        for (index_t p = m.rowptr[static_cast<std::size_t>(i)];
+             p < m.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+          const index_t j = m.colind[static_cast<std::size_t>(p)];
+          const bool dep = kLowerTri ? (j < i) : (j > i);
+          if (dep)
+            acc -= m.values[static_cast<std::size_t>(p)] *
+                   xs[c][static_cast<std::size_t>(j)];
+          else if (j == i)
+            diag = m.values[static_cast<std::size_t>(p)];
+        }
+        if (diag == T{0}) {
+#pragma omp atomic write
+          bad_row = i;
+          xs[c][static_cast<std::size_t>(i)] = T{0};  // keep the entry defined
+        } else {
+          xs[c][static_cast<std::size_t>(i)] = acc / diag;
+        }
+      }
+    }
+    SPCG_CHECK_MSG(bad_row < 0,
+                   "zero or missing diagonal at row " << bad_row);
+  }
+}
+
 template <class T, bool kLowerTri>
 void sptrsv_level_scheduled(const Csr<T>& m, const LevelSchedule& sched,
                             std::span<const T> b, std::span<T> x) {
@@ -127,6 +172,24 @@ template <class T>
 void sptrsv_upper_levels(const Csr<T>& u, const LevelSchedule& sched,
                          std::span<const T> b, std::span<T> x) {
   detail::sptrsv_level_scheduled<T, false>(u, sched, b, x);
+}
+
+/// Multi-RHS level-scheduled lower solve: xs[c] solves L xs[c] = bs[c]. One
+/// level sweep (and its barriers) is shared across all columns. No xs[c] may
+/// alias any bs[c'].
+template <class T>
+void sptrsv_lower_levels_multi(const Csr<T>& l, const LevelSchedule& sched,
+                               std::span<const T* const> bs,
+                               std::span<T* const> xs) {
+  detail::sptrsv_level_scheduled_multi<T, true>(l, sched, bs, xs);
+}
+
+/// Multi-RHS level-scheduled upper solve.
+template <class T>
+void sptrsv_upper_levels_multi(const Csr<T>& u, const LevelSchedule& sched,
+                               std::span<const T* const> bs,
+                               std::span<T* const> xs) {
+  detail::sptrsv_level_scheduled_multi<T, false>(u, sched, bs, xs);
 }
 
 }  // namespace spcg

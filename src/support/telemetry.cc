@@ -1,0 +1,41 @@
+#include "support/telemetry.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spcg {
+
+Counter& TelemetryRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+std::vector<CounterSample> TelemetryRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    out.push_back({name, counter->value()});
+  return out;  // std::map iteration is already name-sorted
+}
+
+void TelemetryRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->reset();
+}
+
+std::string render_telemetry(std::span<const CounterSample> samples) {
+  std::size_t width = 0;
+  for (const CounterSample& s : samples) width = std::max(width, s.name.size());
+  std::ostringstream os;
+  for (const CounterSample& s : samples) {
+    os << s.name;
+    for (std::size_t i = s.name.size(); i < width + 2; ++i) os << ' ';
+    os << s.value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spcg

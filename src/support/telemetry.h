@@ -1,0 +1,61 @@
+// Lightweight telemetry for long-running components: lock-free counters and
+// a named-counter registry that can be snapshotted while other threads keep
+// incrementing. Used by the runtime layer (setup cache, solve service) to
+// expose hit/miss/fallback statistics without perturbing the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spcg {
+
+/// Monotonic event counter; add() is wait-free and safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// One named counter value captured by a snapshot.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Thread-safe create-on-first-use registry of named counters. Counter
+/// references stay valid for the registry's lifetime, so components resolve
+/// their counters once and increment lock-free afterwards.
+class TelemetryRegistry {
+ public:
+  /// The counter registered under `name`, creating it at zero if absent.
+  Counter& counter(const std::string& name);
+
+  /// All counters, sorted by name (values read with relaxed ordering).
+  [[nodiscard]] std::vector<CounterSample> snapshot() const;
+
+  /// Zero every registered counter (counters stay registered).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+/// Render samples as aligned "name  value" lines (for CLIs and logs).
+std::string render_telemetry(std::span<const CounterSample> samples);
+
+}  // namespace spcg

@@ -79,6 +79,25 @@ TEST(Pcg, ZeroRhsConvergesWithZeroSolution) {
   for (const double x : r.x) EXPECT_DOUBLE_EQ(x, 0.0);
 }
 
+TEST(Pcg, ZeroRhsConvergesUnderRelativeTolerance) {
+  // With relative=true the target is tolerance * ||b|| = 0 and ||r|| < 0 can
+  // never hold; the solver must answer x = 0 directly instead of spinning to
+  // the iteration cap.
+  const Csr<double> a = gen_poisson2d(8, 8);
+  const std::vector<double> b(static_cast<std::size_t>(a.rows), 0.0);
+  PcgOptions opt;
+  opt.relative = true;
+  opt.tolerance = 1e-10;
+  opt.record_history = true;
+  const SolveResult<double> r = cg(a, b, opt);
+  EXPECT_TRUE(r.converged());
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_DOUBLE_EQ(r.final_residual_norm, 0.0);
+  ASSERT_EQ(r.residual_history.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.residual_history.front(), 0.0);
+  for (const double x : r.x) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
 TEST(Pcg, RecordsMonotonicallyUsefulHistory) {
   const Csr<double> a = gen_poisson2d(20, 20);
   const std::vector<double> b = make_rhs(a, 6);

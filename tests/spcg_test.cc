@@ -4,6 +4,7 @@
 #include "core/spcg.h"
 #include "core/spcg_report.h"
 #include "gen/generators.h"
+#include "runtime/session.h"
 
 namespace spcg {
 namespace {
