@@ -1,0 +1,115 @@
+// Strong-scaling bench for the distributed SPCG layer: one >= 100k-row 2D
+// Poisson system solved at P in {1, 2, 4, 8} thread-ranks, classic and
+// communication-overlapped bodies, reporting iterations (vs the single-domain
+// serial SPCG reference), communication volume (halo bytes, all-reduce
+// count), overlap efficiency, and wall-clock speedup over P = 1.
+//
+// Also a correctness gate: the P = 1 distributed solve must be bitwise
+// identical to spcg_solve (same x, same iteration count) — the deterministic
+// rank-order reduction makes that an exact equality, and this binary exits
+// nonzero if it ever breaks.
+//
+// Speedups are host-measured: ranks are std::threads, so on a machine with
+// fewer hardware threads than P the ranks time-slice and speedup saturates
+// at (or below) the core count. The iteration counts, communication volumes
+// and the bitwise gate are machine-independent.
+//
+// Usage: dist_scaling [--nx N] [--smoke]
+//   --nx N    grid edge; the system has N*N rows (default 330 -> 108,900)
+//   --smoke   CI-sized run: nx = 120, P in {1, 2}
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/dist.h"
+#include "gen/generators.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+using namespace spcg;
+
+int main(int argc, char** argv) {
+  index_t nx = 330;
+  std::vector<index_t> parts_list = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--nx" && i + 1 < argc) {
+      nx = static_cast<index_t>(std::atoi(argv[++i]));
+      if (nx < 4) {
+        std::cerr << "error: --nx must be >= 4\n";
+        return 2;
+      }
+    } else if (arg == "--smoke") {
+      nx = 120;
+      parts_list = {1, 2};
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--nx N] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  const Csr<double> a = gen_poisson2d(nx, nx);
+  const std::vector<double> b = make_rhs(a, 1);
+  SpcgOptions opt;
+  opt.pcg.tolerance = 1e-8;
+
+  std::cout << "dist_scaling: poisson2d " << nx << "x" << nx << " ("
+            << a.rows << " rows, " << a.nnz() << " nnz), "
+            << std::thread::hardware_concurrency() << " hardware thread(s)\n";
+
+  // Single-domain serial SPCG reference (iteration yardstick + bitwise gate).
+  WallTimer timer;
+  const SpcgResult<double> serial = spcg_solve(a, b, opt);
+  const double serial_seconds = timer.seconds();
+  std::cout << "serial spcg_solve: " << serial.solve.iterations
+            << " iterations, " << fmt(serial_seconds) << " s\n\n";
+
+  TextTable table;
+  table.set_header({"P", "body", "iters", "vs-serial", "solve s", "speedup",
+                    "halo MB", "allreduces", "overlap", "edge-cut"});
+
+  bool bitwise_ok = true;
+  double p1_seconds[2] = {0.0, 0.0};  // classic, overlapped baselines
+  for (const index_t parts : parts_list) {
+    if (parts > a.rows) continue;
+    DistOptions dopt;
+    dopt.parts = parts;
+    dopt.options = opt;
+    const DistSetup<double> setup = dist_setup(a, dopt);
+
+    for (const bool overlap : {false, true}) {
+      dopt.overlap = overlap;
+      const DistSolveResult<double> run = dist_pcg_solve(b, setup, dopt);
+      const int body = overlap ? 1 : 0;
+      if (parts == 1) p1_seconds[body] = run.solve_seconds;
+
+      if (parts == 1 && !overlap) {
+        // The exactness gate: P = 1 classic must reproduce spcg_solve.
+        bitwise_ok = run.solve.iterations == serial.solve.iterations &&
+                     run.solve.x == serial.solve.x;
+        if (!bitwise_ok)
+          std::cerr << "FAIL: P=1 distributed solve is not bitwise equal to "
+                       "spcg_solve\n";
+      }
+
+      table.add_row(
+          {std::to_string(parts), overlap ? "overlapped" : "classic",
+           std::to_string(run.solve.iterations),
+           fmt_speedup(static_cast<double>(run.solve.iterations) /
+                       static_cast<double>(serial.solve.iterations)),
+           fmt(run.solve_seconds),
+           fmt_speedup(p1_seconds[body] / run.solve_seconds),
+           fmt(static_cast<double>(run.stats.halo_bytes) / 1e6),
+           std::to_string(run.stats.allreduces),
+           fmt_percent(run.stats.overlap_efficiency),
+           std::to_string(setup.edge_cut)});
+    }
+  }
+
+  std::cout << table.render() << "\n" << table.render_tsv();
+  std::cout << "\nbitwise gate (P=1 == spcg_solve): "
+            << (bitwise_ok ? "ok" : "FAILED") << "\n";
+  return bitwise_ok ? 0 : 1;
+}

@@ -8,7 +8,8 @@
 //
 // Usage:
 //   spcg-serve [--requests N] [--matrices M] [--workers W] [--seed S]
-//              [--fill K] [--deadline-ms D] [--no-compare]
+//              [--fill K] [--deadline-ms D] [--parts P] [--overlap]
+//              [--no-compare]
 //
 //   --requests N     trace length (default 200)
 //   --matrices M     distinct suite matrices, ids 0..M-1 (default 8, max 107)
@@ -16,12 +17,22 @@
 //   --seed S         base RHS seed (default 1)
 //   --fill K         use ILU(K) instead of ILU(0) (heavier setup)
 //   --deadline-ms D  per-request relative deadline (default: none)
+//   --parts P        solve each request distributed over P thread-ranks
+//                    (default 1 = serial session)
+//   --overlap        use the communication-overlapped distributed body
 //   --no-compare     skip the per-request baseline replay
+//
+// Numeric flags are validated: a non-numeric value, trailing garbage
+// ("10x"), or an out-of-range value (zero/negative where a positive count is
+// required) is a usage error with a message naming the flag.
 //
 // Exit codes: 0 = every request ok, 1 = some request failed/expired,
 // 2 = usage error.
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -41,47 +52,85 @@ struct CliOptions {
   std::uint64_t seed = 1;
   index_t fill = -1;  // <0: ILU(0)
   int deadline_ms = -1;
+  int parts = 1;
+  bool overlap = false;
   bool compare = true;
 };
 
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--requests N] [--matrices M] [--workers W] [--seed S]\n"
-               "  [--fill K] [--deadline-ms D] [--no-compare]\n";
+               "  [--fill K] [--deadline-ms D] [--parts P] [--overlap]"
+               " [--no-compare]\n";
+}
+
+/// Parse `text` as a base-10 integer in [min, max]. Rejects non-numeric
+/// input and trailing garbage ("10x"); reports the offending flag/value on
+/// stderr so the usage error is actionable.
+bool parse_int(const std::string& flag, const char* text, long min, long max,
+               int* dst) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << "error: " << flag << " expects an integer, got '" << text
+              << "'\n";
+    return false;
+  }
+  if (errno == ERANGE || v < min || v > max) {
+    std::cerr << "error: " << flag << " must be in [" << min << ", " << max
+              << "], got " << text << "\n";
+    return false;
+  }
+  *dst = static_cast<int>(v);
+  return true;
 }
 
 bool parse(int argc, char** argv, CliOptions* out) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next_int = [&](int* dst) {
-      if (i + 1 >= argc) return false;
-      *dst = std::stoi(argv[++i]);
-      return true;
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " expects a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    // Per-flag lower bounds make zero/negative counts usage errors with a
+    // clear message instead of silent misbehavior downstream.
+    auto next_int = [&](long min, long max, int* dst) {
+      const char* text = next();
+      return text != nullptr && parse_int(arg, text, min, max, dst);
     };
     if (arg == "--requests") {
-      if (!next_int(&out->requests)) return false;
+      if (!next_int(1, 1'000'000, &out->requests)) return false;
     } else if (arg == "--matrices") {
-      if (!next_int(&out->matrices)) return false;
+      if (!next_int(1, suite_size(), &out->matrices)) return false;
     } else if (arg == "--workers") {
-      if (!next_int(&out->workers)) return false;
+      if (!next_int(1, 1024, &out->workers)) return false;
     } else if (arg == "--seed") {
       int s = 0;
-      if (!next_int(&s) || s < 0) return false;
+      if (!next_int(0, std::numeric_limits<int>::max(), &s)) return false;
       out->seed = static_cast<std::uint64_t>(s);
     } else if (arg == "--fill") {
       int k = 0;
-      if (!next_int(&k) || k < 0) return false;
+      if (!next_int(0, 64, &k)) return false;
       out->fill = static_cast<index_t>(k);
     } else if (arg == "--deadline-ms") {
-      if (!next_int(&out->deadline_ms)) return false;
+      if (!next_int(1, std::numeric_limits<int>::max(), &out->deadline_ms))
+        return false;
+    } else if (arg == "--parts") {
+      if (!next_int(1, 256, &out->parts)) return false;
+    } else if (arg == "--overlap") {
+      out->overlap = true;
     } else if (arg == "--no-compare") {
       out->compare = false;
     } else {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
       return false;
     }
   }
-  return out->requests > 0 && out->matrices > 0 &&
-         out->matrices <= suite_size() && out->workers > 0;
+  return true;
 }
 
 }  // namespace
@@ -120,8 +169,11 @@ int main(int argc, char** argv) {
             << cli.matrices << " matrices, " << cli.workers << " worker(s)"
             << (cli.fill >= 0
                     ? ", ILU(" + std::to_string(cli.fill) + ")"
-                    : ", ILU(0)")
-            << "\n\n";
+                    : ", ILU(0)");
+  if (cli.parts > 1)
+    std::cout << ", " << cli.parts << " parts"
+              << (cli.overlap ? " (overlapped)" : "");
+  std::cout << "\n\n";
 
   // Replay through the service.
   WallTimer timer;
@@ -136,6 +188,8 @@ int main(int argc, char** argv) {
     req.options = opt;
     if (cli.deadline_ms >= 0)
       req.deadline = std::chrono::milliseconds(cli.deadline_ms);
+    req.parts = static_cast<index_t>(cli.parts);
+    req.overlap_comm = cli.overlap;
     tickets.push_back(service.submit(std::move(req)));
   }
 

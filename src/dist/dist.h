@@ -1,0 +1,9 @@
+// Umbrella header for the distributed solver layer: row partitioning
+// (partition.h), the in-process halo-exchange communicator (comm.h), and the
+// distributed classic/overlapped PCG bodies with per-subdomain SPCG
+// preconditioning (dist_pcg.h).
+#pragma once
+
+#include "dist/comm.h"       // IWYU pragma: export
+#include "dist/dist_pcg.h"   // IWYU pragma: export
+#include "dist/partition.h"  // IWYU pragma: export

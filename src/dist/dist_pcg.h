@@ -1,0 +1,501 @@
+// Distributed SPCG: PCG over a row-partitioned system with P in-process
+// ranks, each preconditioned by its own SPCG subdomain setup (restricted
+// additive Schwarz, overlap 0: every rank factorizes its owned x owned
+// interior block via spcg_setup and applies it with an IluApplier).
+//
+// Two solver bodies, selected by DistOptions::overlap:
+//   * classic    — mirrors solver/pcg.h line by line. Two reductions per
+//     iteration ({p,w} curvature; fused {r,z} + ||r||^2), one blocking halo
+//     exchange before the SpMV.
+//   * overlapped — mirrors solver/pipelined_cg.h. One fused reduction per
+//     iteration whose synchronization overlaps the preconditioner apply, and
+//     a halo exchange whose in-flight window overlaps the interior SpMV
+//     (LocalSystem's interior/boundary split exists for exactly this).
+//
+// SPMD invariant: every control-flow decision (convergence, breakdown) is a
+// function of all-reduced values, which the deterministic rank-order
+// reduction makes bitwise identical on every rank — so all ranks execute the
+// same collective sequence and either all finish or all abort (comm.h).
+//
+// P == 1 is bitwise-equal to the serial solvers: the single part's interior
+// block is A itself, partial sums traverse the full vector in the serial
+// order, and the reduction's T -> double -> T round trip is exact (identity
+// for double, lossless widening for float). dist_test locks this in against
+// both spcg_solve and pipelined_pcg.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/spcg.h"
+#include "dist/comm.h"
+#include "dist/partition.h"
+#include "precond/preconditioner.h"
+#include "solver/pcg.h"
+#include "sparse/norms.h"
+#include "sparse/ops.h"
+#include "support/timer.h"
+
+namespace spcg {
+
+/// Configuration of a distributed solve.
+struct DistOptions {
+  index_t parts = 2;
+  PartitionOptions partition;
+  /// Per-subdomain SPCG pipeline configuration (sparsify + ILU + executor)
+  /// and the PCG options of the outer distributed iteration.
+  SpcgOptions options;
+  /// Use the communication-overlapped (pipelined) solver body.
+  bool overlap = false;
+};
+
+/// Everything a distributed solve needs before it sees a right-hand side:
+/// the partition, every part's LocalSystem, and one SPCG setup per
+/// subdomain. Built once, reused across any number of solves — the same
+/// amortization story as SpcgSetup, one level up. Subdomain setups are held
+/// by shared_ptr so the runtime layer can alias them into its SetupCache.
+template <class T>
+struct DistSetup {
+  Partition partition;
+  std::vector<LocalSystem<T>> locals;
+  std::vector<std::shared_ptr<const SpcgSetup<T>>> subdomains;
+  index_t edge_cut = 0;
+  double partition_seconds = 0.0;
+  double setup_seconds = 0.0;
+
+  [[nodiscard]] index_t parts() const { return partition.parts; }
+};
+
+/// Partition A, materialize the local systems, and run spcg_setup on every
+/// interior block (SPD: principal submatrix of SPD A).
+template <class T>
+DistSetup<T> dist_setup(const Csr<T>& a, const DistOptions& opt = {}) {
+  DistSetup<T> s;
+  WallTimer timer;
+  s.partition = make_partition(a, opt.parts, opt.partition);
+  s.locals = build_local_systems(a, s.partition);
+  s.partition_seconds = timer.seconds();
+  s.edge_cut = partition_stats(a, s.partition).edge_cut;
+
+  timer.reset();
+  s.subdomains.reserve(s.locals.size());
+  for (const LocalSystem<T>& loc : s.locals) {
+    s.subdomains.push_back(std::make_shared<SpcgSetup<T>>(
+        spcg_setup(loc.a_interior, opt.options)));
+  }
+  s.setup_seconds = timer.seconds();
+  return s;
+}
+
+/// Communication profile of one distributed solve.
+struct DistSolveStats {
+  std::uint64_t allreduces = 0;      // reductions issued (per rank; identical
+                                     // on every rank by the SPMD invariant)
+  std::uint64_t halo_exchanges = 0;  // exchanges issued (per rank)
+  std::uint64_t halo_bytes = 0;      // gathered payload, summed over ranks
+  double max_wait_seconds = 0.0;     // slowest rank's total barrier time
+  /// Fraction of synchronization hidden behind compute: overlapped work /
+  /// (overlapped work + barrier waits), summed over ranks. 0 for the classic
+  /// body (nothing is overlapped).
+  double overlap_efficiency = 0.0;
+};
+
+template <class T>
+struct DistSolveResult {
+  SolveResult<T> solve;
+  DistSolveStats stats;
+  double solve_seconds = 0.0;
+};
+
+/// What the deterministic distributed reduction yields for dot(x, y): one
+/// partial sum per part in T (ascending local row order), folded in rank
+/// order as double, cast back to T. The serial oracle dist_test compares the
+/// concurrent execution against, to 0 ULP. For parts == 1 it equals dot().
+template <class T>
+T dist_dot_reference(std::span<const T> x, std::span<const T> y,
+                     const Partition& p) {
+  SPCG_CHECK(static_cast<index_t>(x.size()) == p.global_rows);
+  SPCG_CHECK(x.size() == y.size());
+  double acc = 0.0;
+  for (const auto& rows : p.owned) {
+    T part{0};
+    for (const index_t g : rows)
+      part += x[static_cast<std::size_t>(g)] * y[static_cast<std::size_t>(g)];
+    acc += static_cast<double>(part);
+  }
+  return static_cast<T>(acc);
+}
+
+namespace detail {
+
+/// y += B * h: accumulate the boundary block against the gathered halo.
+template <class T>
+void spmv_add(const Csr<T>& bnd, std::span<const T> h, std::span<T> y) {
+  for (index_t i = 0; i < bnd.rows; ++i) {
+    T acc = y[static_cast<std::size_t>(i)];
+    for (index_t p = bnd.rowptr[static_cast<std::size_t>(i)];
+         p < bnd.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      acc += bnd.values[static_cast<std::size_t>(p)] *
+             h[static_cast<std::size_t>(bnd.colind[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+/// Local partial of dot(x, y), accumulated in T like sparse/norms.h dot().
+template <class T>
+T partial_dot(std::span<const T> x, std::span<const T> y) {
+  T acc{0};
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// Local partial of ||x||^2, accumulated in T like norm2() before its sqrt.
+template <class T>
+T partial_sumsq(std::span<const T> x) {
+  T acc{0};
+  for (const T& v : x) acc += v * v;
+  return acc;
+}
+
+/// Finish a reduced sum-of-squares the way serial code finishes norm2():
+/// cast back to T, sqrt in T, report as double.
+template <class T>
+double norm_from_sumsq(double reduced) {
+  return static_cast<double>(std::sqrt(static_cast<T>(reduced)));
+}
+
+/// Shared tail of both rank bodies: recompute the true residual against the
+/// distributed operator in double (the serial solvers' drift check), scatter
+/// this rank's solution slice, and let rank 0 finalize the result.
+template <class T>
+void finish_rank(Communicator<T>& comm, const LocalSystem<T>& local,
+                 std::span<const T> b_loc, std::span<const T> x,
+                 std::span<T> w, std::span<T> halo, SolveStatus status,
+                 std::int32_t iterations, std::span<T> x_global,
+                 SolveResult<T>& res) {
+  auto h = comm.exchange_begin(x.data());
+  comm.exchange_end(h, local, halo);
+  spmv(local.a_interior, x, w);
+  spmv_add(local.a_boundary, std::span<const T>(halo.data(), halo.size()), w);
+  double true_norm = 0.0;
+  for (std::size_t i = 0; i < b_loc.size(); ++i) {
+    const double d =
+        static_cast<double>(b_loc[i]) - static_cast<double>(w[i]);
+    true_norm += d * d;
+  }
+  std::array<double, 1> red{true_norm};
+  comm.allreduce(std::span<double>(red));
+  scatter_local(std::span<const T>(x.data(), x.size()), local.owned, x_global);
+  if (comm.rank() == 0) {
+    res.status = status;
+    res.iterations = iterations;
+    res.final_residual_norm = std::sqrt(red[0]);
+  }
+}
+
+/// Classic distributed PCG — the rank-local body of solver/pcg.h pcg().
+template <class T>
+void dist_rank_classic(Communicator<T>& comm, const DistSetup<T>& setup,
+                       std::span<const T> b, const SpcgOptions& sopt,
+                       std::span<T> x_global, SolveResult<T>& res) {
+  const index_t rank = comm.rank();
+  const LocalSystem<T>& local = setup.locals[static_cast<std::size_t>(rank)];
+  const SpcgSetup<T>& sub = *setup.subdomains[static_cast<std::size_t>(rank)];
+  const PcgOptions& opt = sopt.pcg;
+  const auto n_loc = static_cast<std::size_t>(local.rows());
+  IluApplier<T> m(sub.factors, sub.l_schedule, sub.u_schedule, sopt.executor);
+
+  const std::vector<T> b_loc = gather_local(b, local.owned);
+  std::array<double, 2> red{};
+
+  red[0] = static_cast<double>(partial_sumsq(std::span<const T>(b_loc)));
+  comm.allreduce(std::span<double>(red.data(), 1));
+  const double b_norm = norm_from_sumsq<T>(red[0]);
+  if (b_norm == 0.0) {
+    // Mirrors pcg(): b = 0 answers x = 0 directly. x_global is already zero.
+    if (rank == 0) {
+      res.status = SolveStatus::kConverged;
+      if (opt.record_history) res.residual_history.push_back(0.0);
+    }
+    return;
+  }
+
+  std::vector<T> x(n_loc, T{0});
+  std::vector<T> r(b_loc);
+  std::vector<T> z(n_loc), p(n_loc), w(n_loc);
+  std::vector<T> halo(static_cast<std::size_t>(local.halo_size()));
+  m.apply(r, std::span<T>(z));
+  p = z;
+
+  red[0] = static_cast<double>(
+      partial_dot(std::span<const T>(r), std::span<const T>(z)));
+  red[1] = static_cast<double>(partial_sumsq(std::span<const T>(r)));
+  comm.allreduce(std::span<double>(red));
+  T rz = static_cast<T>(red[0]);
+  double r_norm = norm_from_sumsq<T>(red[1]);
+  const double target = opt.relative ? opt.tolerance * b_norm : opt.tolerance;
+  if (rank == 0 && opt.record_history) res.residual_history.push_back(r_norm);
+
+  SolveStatus status = SolveStatus::kMaxIterations;
+  std::int32_t k = 0;
+  for (; k < opt.max_iterations; ++k) {
+    if (r_norm < target) {
+      status = SolveStatus::kConverged;
+      break;
+    }
+    // Blocking halo exchange, then the full local SpMV (the overlapped body
+    // hides the exchange behind the interior half instead).
+    auto h = comm.exchange_begin(p.data());
+    comm.exchange_end(h, local, std::span<T>(halo));
+    spmv(local.a_interior, std::span<const T>(p), std::span<T>(w));
+    spmv_add(local.a_boundary, std::span<const T>(halo), std::span<T>(w));
+
+    red[0] = static_cast<double>(
+        partial_dot(std::span<const T>(p), std::span<const T>(w)));
+    comm.allreduce(std::span<double>(red.data(), 1));
+    const T pw = static_cast<T>(red[0]);
+    if (!(pw > T{0})) {
+      status = SolveStatus::kBreakdown;
+      break;
+    }
+    const T alpha = rz / pw;
+    axpy(alpha, std::span<const T>(p), std::span<T>(x));
+    axpy(-alpha, std::span<const T>(w), std::span<T>(r));
+    m.apply(r, std::span<T>(z));
+    red[0] = static_cast<double>(
+        partial_dot(std::span<const T>(r), std::span<const T>(z)));
+    red[1] = static_cast<double>(partial_sumsq(std::span<const T>(r)));
+    comm.allreduce(std::span<double>(red));
+    const T rz_next = static_cast<T>(red[0]);
+    if (rz == T{0} || rz_next != rz_next) {
+      status = SolveStatus::kBreakdown;
+      ++k;
+      break;
+    }
+    const T beta = rz_next / rz;
+    rz = rz_next;
+    xpby(std::span<const T>(z), beta, std::span<T>(p));
+    r_norm = norm_from_sumsq<T>(red[1]);
+    if (rank == 0 && opt.record_history) res.residual_history.push_back(r_norm);
+  }
+  if (status == SolveStatus::kMaxIterations && r_norm < target)
+    status = SolveStatus::kConverged;
+
+  finish_rank(comm, local, std::span<const T>(b_loc), std::span<const T>(x),
+              std::span<T>(w), std::span<T>(halo), status, k, x_global, res);
+}
+
+/// Overlapped distributed PCG — the rank-local body of pipelined_pcg(), with
+/// the reduction hidden behind the preconditioner apply and the halo
+/// exchange hidden behind the interior SpMV.
+template <class T>
+void dist_rank_overlapped(Communicator<T>& comm, const DistSetup<T>& setup,
+                          std::span<const T> b, const SpcgOptions& sopt,
+                          std::span<T> x_global, SolveResult<T>& res) {
+  const index_t rank = comm.rank();
+  const LocalSystem<T>& local = setup.locals[static_cast<std::size_t>(rank)];
+  const SpcgSetup<T>& sub = *setup.subdomains[static_cast<std::size_t>(rank)];
+  const PcgOptions& opt = sopt.pcg;
+  const auto n_loc = static_cast<std::size_t>(local.rows());
+  IluApplier<T> m(sub.factors, sub.l_schedule, sub.u_schedule, sopt.executor);
+
+  const std::vector<T> b_loc = gather_local(b, local.owned);
+  std::vector<T> x(n_loc, T{0});
+  std::vector<T> r(b_loc);
+  std::vector<T> z(n_loc), w(n_loc), mw(n_loc), p(n_loc), s(n_loc), q(n_loc);
+  std::vector<T> halo(static_cast<std::size_t>(local.halo_size()));
+
+  // Overlapped w = A z: interior SpMV runs while the halo is in flight.
+  auto local_spmv_overlapped = [&](std::span<const T> in, std::span<T> out) {
+    auto h = comm.exchange_begin(in.data());
+    WallTimer t;
+    spmv(local.a_interior, in, out);
+    comm.note_overlap_compute(t.seconds());
+    comm.exchange_end(h, local, std::span<T>(halo));
+    spmv_add(local.a_boundary, std::span<const T>(halo), out);
+  };
+
+  m.apply(r, std::span<T>(z));
+  local_spmv_overlapped(std::span<const T>(z), std::span<T>(w));
+
+  // One fused startup reduction: {||b||^2, (r, z), ||r||^2}.
+  std::array<double, 3> red3{};
+  red3[0] = static_cast<double>(partial_sumsq(std::span<const T>(b_loc)));
+  red3[1] = static_cast<double>(
+      partial_dot(std::span<const T>(r), std::span<const T>(z)));
+  red3[2] = static_cast<double>(partial_sumsq(std::span<const T>(r)));
+  comm.allreduce(std::span<double>(red3));
+  const double b_norm = norm_from_sumsq<T>(red3[0]);
+  const double target =
+      opt.relative ? opt.tolerance * (b_norm > 0.0 ? b_norm : 1.0)
+                   : opt.tolerance;
+  T gamma = static_cast<T>(red3[1]);
+  T alpha{0}, gamma_old{0};
+  double r_norm = norm_from_sumsq<T>(red3[2]);
+  if (rank == 0 && opt.record_history) res.residual_history.push_back(r_norm);
+
+  std::array<double, 2> red{};
+  SolveStatus status = SolveStatus::kMaxIterations;
+  std::int32_t k = 0;
+  for (; k < opt.max_iterations; ++k) {
+    if (r_norm < target) {
+      status = SolveStatus::kConverged;
+      break;
+    }
+    // The iteration's reduction, hidden behind the preconditioner apply. If
+    // apply throws (checked executor), finish the collective first so the
+    // abort fires outside the open window (comm.h contract).
+    red[0] = static_cast<double>(
+        partial_dot(std::span<const T>(w), std::span<const T>(z)));
+    auto rh = comm.reduce_begin(std::span<const double>(red.data(), 1));
+    std::exception_ptr apply_error;
+    WallTimer apply_timer;
+    try {
+      m.apply(w, std::span<T>(mw));
+    } catch (...) {
+      apply_error = std::current_exception();
+    }
+    comm.note_overlap_compute(apply_timer.seconds());
+    comm.reduce_end(rh, std::span<double>(red.data(), 1));
+    if (apply_error) std::rethrow_exception(apply_error);
+    const T delta = static_cast<T>(red[0]);
+
+    T beta;
+    if (k == 0) {
+      beta = T{0};
+      alpha = gamma / delta;
+    } else {
+      beta = gamma / gamma_old;
+      const T denom = delta - beta * gamma / alpha;
+      if (!(denom != T{0}) || denom != denom) {
+        status = SolveStatus::kBreakdown;
+        break;
+      }
+      alpha = gamma / denom;
+    }
+    if (!(alpha == alpha)) {
+      status = SolveStatus::kBreakdown;
+      break;
+    }
+
+    xpby(std::span<const T>(z), beta, std::span<T>(p));
+    xpby(std::span<const T>(w), beta, std::span<T>(s));
+    xpby(std::span<const T>(mw), beta, std::span<T>(q));
+    axpy(alpha, std::span<const T>(p), std::span<T>(x));
+    axpy(-alpha, std::span<const T>(s), std::span<T>(r));
+    axpy(-alpha, std::span<const T>(q), std::span<T>(z));
+
+    local_spmv_overlapped(std::span<const T>(z), std::span<T>(w));
+    gamma_old = gamma;
+    red[0] = static_cast<double>(
+        partial_dot(std::span<const T>(r), std::span<const T>(z)));
+    red[1] = static_cast<double>(partial_sumsq(std::span<const T>(r)));
+    comm.allreduce(std::span<double>(red));
+    gamma = static_cast<T>(red[0]);
+    if (gamma != gamma) {
+      status = SolveStatus::kBreakdown;
+      ++k;
+      break;
+    }
+    r_norm = norm_from_sumsq<T>(red[1]);
+    if (rank == 0 && opt.record_history) res.residual_history.push_back(r_norm);
+  }
+  if (status == SolveStatus::kMaxIterations && r_norm < target)
+    status = SolveStatus::kConverged;
+
+  finish_rank(comm, local, std::span<const T>(b_loc), std::span<const T>(x),
+              std::span<T>(w), std::span<T>(halo), status, k, x_global, res);
+}
+
+}  // namespace detail
+
+/// Run the distributed solve: rank 0 on the calling thread, ranks 1..P-1 on
+/// their own std::threads. A rank that throws aborts the world; the first
+/// non-CommAborted error is rethrown here after every rank has joined.
+template <class T>
+DistSolveResult<T> dist_pcg_solve(std::span<const T> b,
+                                  const DistSetup<T>& setup,
+                                  const DistOptions& opt = {}) {
+  const index_t parts = setup.partition.parts;
+  SPCG_CHECK(parts >= 1);
+  SPCG_CHECK(static_cast<index_t>(b.size()) == setup.partition.global_rows);
+  SPCG_CHECK(static_cast<index_t>(setup.locals.size()) == parts);
+  SPCG_CHECK(static_cast<index_t>(setup.subdomains.size()) == parts);
+
+  DistSolveResult<T> out;
+  out.solve.x.assign(b.size(), T{0});
+  WallTimer timer;
+
+  CommWorld<T> world(parts);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(parts));
+  std::vector<CommStats> rank_stats(static_cast<std::size_t>(parts));
+  const std::span<T> x_global(out.solve.x);
+
+  auto body = [&](index_t rank) {
+    Communicator<T> comm(&world, rank);
+    try {
+      if (opt.overlap) {
+        detail::dist_rank_overlapped(comm, setup, b, opt.options, x_global,
+                                     out.solve);
+      } else {
+        detail::dist_rank_classic(comm, setup, b, opt.options, x_global,
+                                  out.solve);
+      }
+    } catch (...) {
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      comm.abort();
+    }
+    rank_stats[static_cast<std::size_t>(rank)] = comm.stats();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(parts - 1));
+  for (index_t r = 1; r < parts; ++r) threads.emplace_back(body, r);
+  body(0);
+  for (std::thread& t : threads) t.join();
+
+  std::exception_ptr secondary;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const CommAborted&) {
+      if (!secondary) secondary = e;  // victim of another rank's abort
+    } catch (...) {
+      throw;  // the originating error
+    }
+  }
+  if (secondary) std::rethrow_exception(secondary);
+
+  double hidden = 0.0, waits = 0.0;
+  for (const CommStats& cs : rank_stats) {
+    out.stats.halo_bytes += cs.halo_bytes;
+    out.stats.max_wait_seconds =
+        std::max(out.stats.max_wait_seconds, cs.wait_seconds);
+    hidden += cs.overlap_hidden_seconds;
+    waits += cs.wait_seconds;
+  }
+  out.stats.allreduces = rank_stats[0].allreduces;
+  out.stats.halo_exchanges = rank_stats[0].halo_exchanges;
+  out.stats.overlap_efficiency =
+      hidden + waits > 0.0 ? hidden / (hidden + waits) : 0.0;
+  out.solve_seconds = timer.seconds();
+  return out;
+}
+
+/// Vector-argument convenience.
+template <class T>
+DistSolveResult<T> dist_pcg_solve(const std::vector<T>& b,
+                                  const DistSetup<T>& setup,
+                                  const DistOptions& opt = {}) {
+  return dist_pcg_solve(std::span<const T>(b), setup, opt);
+}
+
+}  // namespace spcg

@@ -1,0 +1,117 @@
+// DistSolverSession — setup-once / solve-many handle over one partitioned
+// system (the distributed sibling of SolverSession).
+//
+// Construction partitions the matrix, materializes every part's LocalSystem,
+// and resolves one SPCG setup per subdomain interior block. With a
+// SetupCache attached the subdomain setups flow through it keyed by each
+// interior block's own fingerprint — so two sessions partitioning the same
+// system the same way share all P setups, and a repartitioned session reuses
+// any interior blocks that came out identical. Without a cache the setups
+// are built privately.
+//
+// Thread safety: solve() is const and every rank of a solve allocates its
+// own scratch (dist_pcg_solve builds one IluApplier per rank), so one
+// session may serve many threads concurrently, like SolverSession.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dist/dist_pcg.h"
+#include "runtime/setup_cache.h"
+#include "support/telemetry.h"
+#include "support/timer.h"
+
+namespace spcg {
+
+template <class T>
+class DistSolverSession {
+ public:
+  /// Share ownership of the matrix (the usual service path). `telemetry`
+  /// (optional, borrowed) receives per-solve communication counters.
+  DistSolverSession(std::shared_ptr<const Csr<T>> a, DistOptions opt,
+                    std::shared_ptr<SetupCache<T>> cache = nullptr,
+                    TelemetryRegistry* telemetry = nullptr)
+      : a_(std::move(a)), opt_(std::move(opt)), cache_(std::move(cache)),
+        telemetry_(telemetry) {
+    init();
+  }
+
+  /// Borrow a caller-owned matrix (must outlive the session).
+  DistSolverSession(const Csr<T>& a, DistOptions opt,
+                    std::shared_ptr<SetupCache<T>> cache = nullptr,
+                    TelemetryRegistry* telemetry = nullptr)
+      : DistSolverSession(
+            std::shared_ptr<const Csr<T>>(&a, [](const Csr<T>*) {}),
+            std::move(opt), std::move(cache), telemetry) {}
+
+  [[nodiscard]] const Csr<T>& matrix() const { return *a_; }
+  [[nodiscard]] const DistOptions& options() const { return opt_; }
+  [[nodiscard]] const DistSetup<T>& setup() const { return setup_; }
+  [[nodiscard]] index_t parts() const { return setup_.partition.parts; }
+  /// How many of the P subdomain setups construction found already cached
+  /// (0 when the session has no cache).
+  [[nodiscard]] index_t subdomain_cache_hits() const { return cache_hits_; }
+
+  /// Solve A x = b with the cached distributed setup. Safe to call
+  /// concurrently.
+  DistSolveResult<T> solve(std::span<const T> b) const {
+    DistSolveResult<T> out = dist_pcg_solve(b, setup_, opt_);
+    if (telemetry_) record(out);
+    return out;
+  }
+
+  DistSolveResult<T> solve(const std::vector<T>& b) const {
+    return solve(std::span<const T>(b));
+  }
+
+ private:
+  void init() {
+    WallTimer timer;
+    setup_.partition = make_partition(*a_, opt_.parts, opt_.partition);
+    setup_.locals = build_local_systems(*a_, setup_.partition);
+    setup_.partition_seconds = timer.seconds();
+    setup_.edge_cut = partition_stats(*a_, setup_.partition).edge_cut;
+
+    timer.reset();
+    setup_.subdomains.reserve(setup_.locals.size());
+    for (const LocalSystem<T>& loc : setup_.locals) {
+      if (cache_) {
+        bool hit = false;
+        auto shared = cache_->get_or_build(loc.a_interior, opt_.options, &hit);
+        if (hit) ++cache_hits_;
+        // Alias into the cached SolverSetup: the SpcgSetup stays alive
+        // through the outer shared_ptr's control block.
+        setup_.subdomains.emplace_back(shared, &shared->artifacts);
+      } else {
+        setup_.subdomains.push_back(std::make_shared<SpcgSetup<T>>(
+            spcg_setup(loc.a_interior, opt_.options)));
+      }
+    }
+    setup_.setup_seconds = timer.seconds();
+  }
+
+  void record(const DistSolveResult<T>& out) const {
+    telemetry_->counter("dist.solves").add();
+    telemetry_->counter("dist.iterations")
+        .add(static_cast<std::uint64_t>(out.solve.iterations));
+    telemetry_->counter("dist.allreduces").add(out.stats.allreduces);
+    telemetry_->counter("dist.halo_exchanges").add(out.stats.halo_exchanges);
+    telemetry_->histogram("dist.halo_bytes").record(out.stats.halo_bytes);
+    telemetry_->max_gauge("dist.overlap_pct")
+        .update(static_cast<std::uint64_t>(out.stats.overlap_efficiency *
+                                           100.0));
+  }
+
+  std::shared_ptr<const Csr<T>> a_;
+  DistOptions opt_;
+  std::shared_ptr<SetupCache<T>> cache_;
+  TelemetryRegistry* telemetry_;
+  DistSetup<T> setup_;
+  index_t cache_hits_ = 0;
+};
+
+}  // namespace spcg

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/spcg.h"
+#include "runtime/dist_session.h"
 #include "runtime/session.h"
 #include "runtime/setup_cache.h"
 #include "support/error.h"
@@ -46,6 +47,11 @@ struct ServiceRequest {
   /// Relative deadline from submission; expired requests are answered with
   /// kDeadlineExpired instead of being solved.
   std::optional<std::chrono::steady_clock::duration> deadline;
+  /// Solve distributed over this many thread-ranks (1 = the serial session).
+  /// Subdomain setups flow through the same service-wide SetupCache.
+  index_t parts = 1;
+  PartitionOptions partition;  // partitioning strategy when parts > 1
+  bool overlap_comm = false;   // communication-overlapped distributed body
 };
 
 enum class RequestStatus {
@@ -248,24 +254,49 @@ class SolveService {
       return reply;
     }
 
-    // Primary attempt with the requested options.
+    // Primary attempt with the requested options. parts > 1 routes through
+    // the distributed session (per-subdomain setups share the same cache);
+    // its degradation path is the serial baseline below, so a bad partition
+    // or a non-converging Schwarz preconditioner still gets an answer.
+    const bool distributed = job.request.parts > 1;
     try {
-      SolverSession<T> session(job.request.a, job.request.options, cache_);
-      SessionSolveResult<T> run = session.solve(job.request.b);
-      reply.setup_cache_hit = session.setup_cache_hit();
-      reply.setup = session.shared_setup();
-      reply.solve_seconds = run.solve_seconds;
-      if (run.solve.converged() || !job.request.options.sparsify_enabled) {
-        // Converged, or already the baseline: nothing left to degrade to.
-        reply.status = RequestStatus::kOk;
-        reply.solve = std::move(run.solve);
-        return reply;
+      if (distributed) {
+        DistOptions dopt;
+        dopt.parts = job.request.parts;
+        dopt.partition = job.request.partition;
+        dopt.options = job.request.options;
+        dopt.overlap = job.request.overlap_comm;
+        DistSolverSession<T> session(job.request.a, dopt, cache_, &telemetry_);
+        DistSolveResult<T> run = session.solve(job.request.b);
+        reply.setup_cache_hit =
+            session.subdomain_cache_hits() == session.parts();
+        reply.solve_seconds = run.solve_seconds;
+        if (run.solve.converged()) {
+          reply.status = RequestStatus::kOk;
+          reply.solve = std::move(run.solve);
+          return reply;
+        }
+        reply.fallback_reason =
+            std::string("distributed solve did not converge (") +
+            std::to_string(run.solve.iterations) + " iterations)";
+      } else {
+        SolverSession<T> session(job.request.a, job.request.options, cache_);
+        SessionSolveResult<T> run = session.solve(job.request.b);
+        reply.setup_cache_hit = session.setup_cache_hit();
+        reply.setup = session.shared_setup();
+        reply.solve_seconds = run.solve_seconds;
+        if (run.solve.converged() || !job.request.options.sparsify_enabled) {
+          // Converged, or already the baseline: nothing left to degrade to.
+          reply.status = RequestStatus::kOk;
+          reply.solve = std::move(run.solve);
+          return reply;
+        }
+        reply.fallback_reason = std::string("primary did not converge (") +
+                                std::to_string(run.solve.iterations) +
+                                " iterations)";
       }
-      reply.fallback_reason = std::string("primary did not converge (") +
-                              std::to_string(run.solve.iterations) +
-                              " iterations)";
     } catch (const std::exception& e) {
-      if (!job.request.options.sparsify_enabled) {
+      if (!distributed && !job.request.options.sparsify_enabled) {
         reply.status = RequestStatus::kFailed;
         reply.error = e.what();
         failed_.add();

@@ -68,10 +68,51 @@ std::vector<T> permute_vector(const std::vector<T>& x,
   return out;
 }
 
+/// Connected components of the pattern of symmetric A. Returns one label per
+/// vertex; labels are dense (0..count-1) and numbered in order of first
+/// appearance, so vertex 0 always has label 0 and the labeling is
+/// deterministic. The optional `count` out-param receives the number of
+/// components. Used by the BFS partitioner (dist/partition.h) to seed one
+/// growth front per component.
+template <class T>
+std::vector<index_t> connected_components(const Csr<T>& a,
+                                          index_t* count = nullptr) {
+  SPCG_CHECK(a.rows == a.cols);
+  const index_t n = a.rows;
+  std::vector<index_t> label(static_cast<std::size_t>(n), -1);
+  index_t components = 0;
+  std::queue<index_t> q;
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (label[static_cast<std::size_t>(seed)] >= 0) continue;
+    const index_t c = components++;
+    label[static_cast<std::size_t>(seed)] = c;
+    q.push(seed);
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      for (const index_t w : a.row_cols(v)) {
+        if (label[static_cast<std::size_t>(w)] < 0) {
+          label[static_cast<std::size_t>(w)] = c;
+          q.push(w);
+        }
+      }
+    }
+  }
+  if (count) *count = components;
+  return label;
+}
+
 /// Reverse Cuthill–McKee ordering of the pattern of symmetric A: BFS from a
 /// pseudo-peripheral vertex, neighbors visited in increasing-degree order,
 /// final order reversed. Reduces bandwidth/profile; the classic choice
 /// before banded or incomplete factorization.
+///
+/// Disconnected graphs are handled per component: the seed loop below visits
+/// every component in ascending seed order, orders it with its own
+/// pseudo-peripheral BFS, and appends it to the visit order. Each component
+/// therefore occupies one contiguous block of the final (reversed)
+/// permutation — a property the partitioner's RCM pre-pass relies on, and
+/// that reorder_test locks in.
 template <class T>
 Permutation reverse_cuthill_mckee(const Csr<T>& a) {
   SPCG_CHECK(a.rows == a.cols);

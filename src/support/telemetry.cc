@@ -12,18 +12,47 @@ Counter& TelemetryRegistry::counter(const std::string& name) {
   return *slot;
 }
 
+MaxGauge& TelemetryRegistry::max_gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<MaxGauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<MaxGauge>();
+  return *slot;
+}
+
+LogHistogram& TelemetryRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LogHistogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LogHistogram>();
+  return *slot;
+}
+
 std::vector<CounterSample> TelemetryRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<CounterSample> out;
-  out.reserve(counters_.size());
+  out.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
   for (const auto& [name, counter] : counters_)
     out.push_back({name, counter->value()});
-  return out;  // std::map iteration is already name-sorted
+  for (const auto& [name, gauge] : gauges_)
+    out.push_back({name + ".max", gauge->value()});
+  for (const auto& [name, hist] : histograms_) {
+    out.push_back({name + ".count", hist->count()});
+    out.push_back({name + ".sum", hist->sum()});
+    out.push_back({name + ".max", hist->max()});
+    out.push_back({name + ".p50", hist->percentile(50.0)});
+    out.push_back({name + ".p99", hist->percentile(99.0)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              return a.name < b.name;
+            });
+  return out;
 }
 
 void TelemetryRegistry::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
 }
 
 std::string render_telemetry(std::span<const CounterSample> samples) {

@@ -1,10 +1,14 @@
-// Lightweight telemetry for long-running components: lock-free counters and
-// a named-counter registry that can be snapshotted while other threads keep
-// incrementing. Used by the runtime layer (setup cache, solve service) to
-// expose hit/miss/fallback statistics without perturbing the hot path.
+// Lightweight telemetry for long-running components: lock-free counters,
+// power-of-two histograms, running-maximum gauges, and a named registry that
+// can be snapshotted while other threads keep recording. Used by the runtime
+// layer (setup cache, solve service, distributed sessions) to expose
+// hit/miss/fallback and communication-volume statistics without perturbing
+// the hot path.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -30,29 +34,129 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Running maximum over recorded values (e.g. peak halo bytes of any solve).
+/// update() is lock-free and safe from any thread.
+class MaxGauge {
+ public:
+  void update(std::uint64_t v) noexcept {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Lock-free histogram with power-of-two buckets: record(v) lands in bucket
+/// std::bit_width(v) (0 -> bucket 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...), so
+/// 65 buckets cover the full uint64 range with no configuration. Tracks
+/// count, sum and max alongside the buckets; percentile() answers with the
+/// inclusive upper edge of the covering bucket (an upper bound, exact enough
+/// for byte/iteration distributions spanning orders of magnitude). Distinct
+/// from the dense bench-side spcg::Histogram in support/stats.h, which bins a
+/// finished sample over a fixed [lo, hi) range.
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    max_.update(v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_.value(); }
+  [[nodiscard]] std::uint64_t bucket(int b) const noexcept {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper edge of bucket b: the largest value that records there.
+  [[nodiscard]] static std::uint64_t bucket_upper_edge(int b) noexcept {
+    if (b <= 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  /// Upper bound on the p-th percentile (p in [0, 100]): the upper edge of
+  /// the first bucket whose cumulative count reaches p% of the total.
+  /// Returns 0 when nothing was recorded.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    const double need = p / 100.0 * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cumulative += bucket(b);
+      if (static_cast<double>(cumulative) >= need && cumulative > 0)
+        return bucket_upper_edge(b);
+    }
+    return bucket_upper_edge(kBuckets - 1);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.reset();
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  MaxGauge max_;
+};
+
 /// One named counter value captured by a snapshot.
 struct CounterSample {
   std::string name;
   std::uint64_t value = 0;
 };
 
-/// Thread-safe create-on-first-use registry of named counters. Counter
-/// references stay valid for the registry's lifetime, so components resolve
-/// their counters once and increment lock-free afterwards.
+/// Thread-safe create-on-first-use registry of named counters, max-gauges
+/// and log-histograms. References stay valid for the registry's lifetime, so
+/// components resolve their instruments once and record lock-free afterwards.
 class TelemetryRegistry {
  public:
   /// The counter registered under `name`, creating it at zero if absent.
   Counter& counter(const std::string& name);
 
-  /// All counters, sorted by name (values read with relaxed ordering).
+  /// The max-gauge registered under `name`, creating it at zero if absent.
+  MaxGauge& max_gauge(const std::string& name);
+
+  /// The log-histogram registered under `name`, creating it empty if absent.
+  LogHistogram& histogram(const std::string& name);
+
+  /// Every instrument flattened to named samples, sorted by name: counters
+  /// as-is, gauges as "<name>.max", histograms as "<name>.count / .sum /
+  /// .max / .p50 / .p99" (values read with relaxed ordering).
   [[nodiscard]] std::vector<CounterSample> snapshot() const;
 
-  /// Zero every registered counter (counters stay registered).
+  /// Zero every registered instrument (all stay registered).
   void reset();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<MaxGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
 };
 
 /// Render samples as aligned "name  value" lines (for CLIs and logs).

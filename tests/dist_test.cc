@@ -1,0 +1,527 @@
+// Tests for the distributed layer (src/dist/): partition invariants and
+// exact matrix reconstruction, communicator determinism and abort handling
+// (DistComm/DistHalo run real concurrent ranks — the TSan CI job targets
+// them), 0-ULP distributed reductions against the serial oracle, and the
+// distributed solver's bitwise P=1 equality plus multi-part convergence.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dist/dist.h"
+#include "gen/generators.h"
+#include "gen/suite.h"
+#include "runtime/runtime.h"
+#include "solver/pipelined_cg.h"
+#include "sparse/reorder.h"
+#include "support/rng.h"
+
+namespace spcg {
+namespace {
+
+SpcgOptions fast_options() {
+  SpcgOptions opt;
+  opt.pcg.tolerance = 1e-8;
+  opt.pcg.max_iterations = 2000;
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// DistPartition
+
+TEST(DistPartition, ContiguousCoversEveryRowOnceAndBalances) {
+  const Csr<double> a = gen_poisson2d(20, 20);
+  const Partition p = make_partition(a, 4);
+  EXPECT_NO_THROW(validate_partition(p));
+  const PartitionStats s = partition_stats(a, p);
+  EXPECT_LE(s.max_rows - s.min_rows, 1);
+  EXPECT_GT(s.edge_cut, 0);
+  EXPECT_LE(s.imbalance, 1.0 + 1e-9);
+}
+
+TEST(DistPartition, BfsGreedyCoversDisconnectedGraph) {
+  // Two disjoint chains (8 + 5 vertices); BFS growing must seed both
+  // components and still assign every row exactly once.
+  std::vector<Triplet<double>> ts;
+  auto chain = [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      ts.push_back({i, i, 4.0});
+      if (i + 1 < hi) {
+        ts.push_back({i, i + 1, -1.0});
+        ts.push_back({i + 1, i, -1.0});
+      }
+    }
+  };
+  chain(0, 8);
+  chain(8, 13);
+  const Csr<double> a = csr_from_triplets(13, 13, std::move(ts));
+  PartitionOptions opt;
+  opt.strategy = PartitionOptions::Strategy::kBfsGreedy;
+  const Partition p = make_partition(a, 3, opt);
+  EXPECT_NO_THROW(validate_partition(p));
+  const PartitionStats s = partition_stats(a, p);
+  EXPECT_GE(s.min_rows, 1);
+}
+
+TEST(DistPartition, RcmPrepassCutsFewerEdgesOnShuffledOrdering) {
+  const Csr<double> natural = gen_poisson2d(16, 16);
+  const Csr<double> shuffled =
+      permute_symmetric(natural, random_permutation(natural.rows, 7));
+  PartitionOptions plain;
+  PartitionOptions rcm;
+  rcm.rcm_prepass = true;
+  const index_t cut_plain =
+      partition_stats(shuffled, make_partition(shuffled, 4, plain)).edge_cut;
+  const index_t cut_rcm =
+      partition_stats(shuffled, make_partition(shuffled, 4, rcm)).edge_cut;
+  EXPECT_LT(cut_rcm, cut_plain);
+}
+
+TEST(DistPartition, LocalSystemsReconstructTheMatrixExactly) {
+  const Csr<double> a = gen_poisson2d(9, 7);
+  for (const index_t parts : {1, 2, 3, 5}) {
+    const Partition p = make_partition(a, parts);
+    const auto locals = build_local_systems(a, p);
+    ASSERT_EQ(static_cast<index_t>(locals.size()), parts);
+    index_t rows_seen = 0;
+    for (const LocalSystem<double>& loc : locals) {
+      rows_seen += loc.rows();
+      for (index_t l = 0; l < loc.rows(); ++l) {
+        const index_t g = loc.owned[static_cast<std::size_t>(l)];
+        // Merge interior (owned columns) and boundary (halo columns) entries
+        // back to global indices and compare against A's row bit for bit.
+        std::vector<std::pair<index_t, double>> entries;
+        for (index_t q = loc.a_interior.rowptr[static_cast<std::size_t>(l)];
+             q < loc.a_interior.rowptr[static_cast<std::size_t>(l) + 1]; ++q) {
+          entries.emplace_back(
+              loc.owned[static_cast<std::size_t>(
+                  loc.a_interior.colind[static_cast<std::size_t>(q)])],
+              loc.a_interior.values[static_cast<std::size_t>(q)]);
+        }
+        for (index_t q = loc.a_boundary.rowptr[static_cast<std::size_t>(l)];
+             q < loc.a_boundary.rowptr[static_cast<std::size_t>(l) + 1]; ++q) {
+          entries.emplace_back(
+              loc.halo[static_cast<std::size_t>(
+                  loc.a_boundary.colind[static_cast<std::size_t>(q)])],
+              loc.a_boundary.values[static_cast<std::size_t>(q)]);
+        }
+        std::sort(entries.begin(), entries.end());
+        const index_t begin = a.rowptr[static_cast<std::size_t>(g)];
+        const index_t end = a.rowptr[static_cast<std::size_t>(g) + 1];
+        ASSERT_EQ(static_cast<index_t>(entries.size()), end - begin);
+        for (index_t q = begin; q < end; ++q) {
+          EXPECT_EQ(entries[static_cast<std::size_t>(q - begin)].first,
+                    a.colind[static_cast<std::size_t>(q)]);
+          EXPECT_EQ(entries[static_cast<std::size_t>(q - begin)].second,
+                    a.values[static_cast<std::size_t>(q)]);
+        }
+      }
+    }
+    EXPECT_EQ(rows_seen, a.rows);
+  }
+}
+
+TEST(DistPartition, SinglePartInteriorIsBitwiseTheMatrix) {
+  const Csr<double> a = gen_poisson2d(8, 8);
+  const auto locals = build_local_systems(a, make_partition(a, 1));
+  ASSERT_EQ(locals.size(), 1u);
+  EXPECT_EQ(locals[0].halo_size(), 0);
+  EXPECT_TRUE(locals[0].edges.empty());
+  EXPECT_EQ(locals[0].a_interior.rowptr, a.rowptr);
+  EXPECT_EQ(locals[0].a_interior.colind, a.colind);
+  EXPECT_EQ(locals[0].a_interior.values, a.values);
+}
+
+// ---------------------------------------------------------------------------
+// DistComm — concurrent rank harness (TSan target)
+
+/// Run `fn(comm)` on P concurrent ranks with the same abort protocol as
+/// dist_pcg_solve; returns one exception_ptr slot per rank.
+template <class Fn>
+std::vector<std::exception_ptr> run_world(index_t parts, Fn fn) {
+  CommWorld<double> world(parts);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(parts));
+  auto body = [&](index_t rank) {
+    Communicator<double> comm(&world, rank);
+    try {
+      fn(comm);
+    } catch (...) {
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      comm.abort();
+    }
+  };
+  std::vector<std::thread> threads;
+  for (index_t r = 1; r < parts; ++r) threads.emplace_back(body, r);
+  body(0);
+  for (std::thread& t : threads) t.join();
+  return errors;
+}
+
+TEST(DistComm, AllreduceIsDeterministicRankOrderSum) {
+  constexpr index_t kParts = 4;
+  constexpr int kRounds = 25;
+  // Rank-order fold oracle, computed serially.
+  std::vector<double> expected;
+  for (int i = 0; i < kRounds; ++i) {
+    double acc = 0.0;
+    for (index_t r = 0; r < kParts; ++r)
+      acc += 0.1 * static_cast<double>(r + 1) + static_cast<double>(i);
+    expected.push_back(acc);
+  }
+  for (int run = 0; run < 2; ++run) {  // run-to-run reproducibility
+    std::array<std::vector<double>, kParts> got;
+    auto errors = run_world(kParts, [&](Communicator<double>& comm) {
+      for (int i = 0; i < kRounds; ++i) {
+        const double v = 0.1 * static_cast<double>(comm.rank() + 1) +
+                         static_cast<double>(i);
+        got[static_cast<std::size_t>(comm.rank())].push_back(
+            comm.allreduce1(v));
+      }
+    });
+    for (const auto& e : errors) EXPECT_FALSE(e);
+    for (index_t r = 0; r < kParts; ++r) {
+      ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        // Bitwise: the deterministic reduction promises identical bits on
+        // every rank and every run.
+        EXPECT_EQ(got[static_cast<std::size_t>(r)][i], expected[i]);
+      }
+    }
+  }
+}
+
+TEST(DistComm, SplitPhaseReduceOverlapsComputeAndStaysCorrect) {
+  constexpr index_t kParts = 3;
+  auto errors = run_world(kParts, [&](Communicator<double>& comm) {
+    for (int i = 0; i < 10; ++i) {
+      std::array<double, 2> vals{static_cast<double>(comm.rank()),
+                                 static_cast<double>(i)};
+      auto h = comm.reduce_begin(std::span<const double>(vals));
+      // Overlapped "compute": touch local state while others arrive.
+      volatile double sink = 0.0;
+      for (int j = 0; j < 1000; ++j) sink = sink + 1.0;
+      std::array<double, 2> out{};
+      comm.reduce_end(h, std::span<double>(out));
+      EXPECT_EQ(out[0], 0.0 + 1.0 + 2.0);
+      EXPECT_EQ(out[1], 3.0 * static_cast<double>(i));
+    }
+  });
+  for (const auto& e : errors) EXPECT_FALSE(e);
+}
+
+TEST(DistComm, AbortOnOneRankPropagatesToAll) {
+  constexpr index_t kParts = 3;
+  auto errors = run_world(kParts, [&](Communicator<double>& comm) {
+    for (int i = 0; i < 10; ++i) {
+      if (comm.rank() == 1 && i == 5) throw std::runtime_error("rank fault");
+      comm.allreduce1(1.0);
+    }
+  });
+  ASSERT_TRUE(errors[1]);
+  EXPECT_THROW(std::rethrow_exception(errors[1]), std::runtime_error);
+  for (const index_t r : {0, 2}) {
+    ASSERT_TRUE(errors[static_cast<std::size_t>(r)]);
+    EXPECT_THROW(std::rethrow_exception(errors[static_cast<std::size_t>(r)]),
+                 CommAborted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DistHalo — concurrent halo exchange (TSan target)
+
+TEST(DistHalo, ExchangeGathersNeighborValuesAcrossRounds) {
+  const Csr<double> a = gen_poisson2d(12, 12);
+  constexpr index_t kParts = 3;
+  const Partition part = make_partition(a, kParts);
+  const auto locals = build_local_systems(a, part);
+
+  constexpr int kRounds = 50;
+  auto errors = run_world(kParts, [&](Communicator<double>& comm) {
+    const LocalSystem<double>& loc =
+        locals[static_cast<std::size_t>(comm.rank())];
+    std::vector<double> x(static_cast<std::size_t>(loc.rows()));
+    std::vector<double> halo(static_cast<std::size_t>(loc.halo_size()));
+    for (int round = 0; round < kRounds; ++round) {
+      // Encode (round, global row) so stale reads from a previous round are
+      // detected, not just wrong neighbors.
+      for (index_t l = 0; l < loc.rows(); ++l)
+        x[static_cast<std::size_t>(l)] =
+            1000.0 * round +
+            static_cast<double>(loc.owned[static_cast<std::size_t>(l)]);
+      auto h = comm.exchange_begin(x.data());
+      comm.exchange_end(h, loc, std::span<double>(halo));
+      for (index_t s = 0; s < loc.halo_size(); ++s) {
+        EXPECT_EQ(halo[static_cast<std::size_t>(s)],
+                  1000.0 * round +
+                      static_cast<double>(loc.halo[static_cast<std::size_t>(s)]));
+      }
+      // A reduction separates exchange_end from the next mutation of x,
+      // exactly the solver loops' buffer-reuse contract; it also stresses
+      // the interleaving of both collective types' ping-pong banks.
+      const double sum = comm.allreduce1(static_cast<double>(round));
+      EXPECT_EQ(sum, static_cast<double>(kParts) * round);
+    }
+  });
+  for (const auto& e : errors) EXPECT_FALSE(e);
+}
+
+// ---------------------------------------------------------------------------
+// DistDot — deterministic reductions to 0 ULP
+
+TEST(DistDot, ConcurrentDotMatchesSerialOracleToZeroUlp) {
+  const index_t n = 500;
+  Rng rng(11);
+  std::vector<double> x(static_cast<std::size_t>(n)), y(x.size());
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+  const Csr<double> a = gen_poisson2d(25, 20);  // 500 rows, pattern only
+  ASSERT_EQ(a.rows, n);
+
+  for (const index_t parts : {1, 2, 4}) {
+    const Partition part = make_partition(a, parts);
+    const double expected = dist_dot_reference(
+        std::span<const double>(x), std::span<const double>(y), part);
+    for (int run = 0; run < 2; ++run) {
+      std::vector<double> got(static_cast<std::size_t>(parts));
+      auto errors = run_world(parts, [&](Communicator<double>& comm) {
+        const auto& rows = part.owned[static_cast<std::size_t>(comm.rank())];
+        double partial = 0.0;  // T = double here; partial accumulates in T
+        for (const index_t g : rows)
+          partial += x[static_cast<std::size_t>(g)] *
+                     y[static_cast<std::size_t>(g)];
+        got[static_cast<std::size_t>(comm.rank())] = comm.allreduce1(partial);
+      });
+      for (const auto& e : errors) EXPECT_FALSE(e);
+      for (const double g : got) EXPECT_EQ(g, expected);  // bitwise
+    }
+  }
+}
+
+TEST(DistDot, SinglePartReferenceEqualsSerialDot) {
+  Rng rng(3);
+  std::vector<double> x(257), y(257);
+  for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+  for (auto& v : y) v = rng.uniform(-2.0, 2.0);
+  Partition p;
+  p.parts = 1;
+  p.global_rows = 257;
+  p.part_of.assign(257, 0);
+  p.owned.resize(1);
+  for (index_t g = 0; g < 257; ++g) p.owned[0].push_back(g);
+  EXPECT_EQ(dist_dot_reference(std::span<const double>(x),
+                               std::span<const double>(y), p),
+            dot(x, y));
+}
+
+// ---------------------------------------------------------------------------
+// DistSolve
+
+TEST(DistSolve, SinglePartIsBitwiseEqualToSpcgSolve) {
+  const Csr<double> a = gen_poisson2d(24, 24);
+  const std::vector<double> b = make_rhs(a, 5);
+  SpcgOptions opt = fast_options();
+  opt.pcg.record_history = true;
+
+  const SpcgResult<double> serial = spcg_solve(a, b, opt);
+  DistOptions dopt;
+  dopt.parts = 1;
+  dopt.options = opt;
+  const DistSetup<double> setup = dist_setup(a, dopt);
+  const DistSolveResult<double> dist = dist_pcg_solve(b, setup, dopt);
+
+  EXPECT_EQ(dist.solve.status, serial.solve.status);
+  EXPECT_EQ(dist.solve.iterations, serial.solve.iterations);
+  EXPECT_EQ(dist.solve.x, serial.solve.x);  // bitwise
+  EXPECT_EQ(dist.solve.final_residual_norm, serial.solve.final_residual_norm);
+  EXPECT_EQ(dist.solve.residual_history, serial.solve.residual_history);
+}
+
+TEST(DistSolve, SinglePartOverlappedIsBitwiseEqualToPipelinedPcg) {
+  const Csr<double> a = gen_poisson2d(20, 20);
+  const std::vector<double> b = make_rhs(a, 9);
+  SpcgOptions opt = fast_options();
+  opt.pcg.record_history = true;
+
+  SpcgSetup<double> setup = spcg_setup(a, opt);
+  const IluPreconditioner<double> m(setup.factors, setup.l_schedule,
+                                    setup.u_schedule, opt.executor);
+  const SolveResult<double> serial = pipelined_pcg(a, b, m, opt.pcg);
+
+  DistOptions dopt;
+  dopt.parts = 1;
+  dopt.options = opt;
+  dopt.overlap = true;
+  const DistSolveResult<double> dist =
+      dist_pcg_solve(b, dist_setup(a, dopt), dopt);
+
+  EXPECT_EQ(dist.solve.status, serial.status);
+  EXPECT_EQ(dist.solve.iterations, serial.iterations);
+  EXPECT_EQ(dist.solve.x, serial.x);  // bitwise
+  EXPECT_EQ(dist.solve.final_residual_norm, serial.final_residual_norm);
+  EXPECT_EQ(dist.solve.residual_history, serial.residual_history);
+}
+
+TEST(DistSolve, MultiPartConvergesOnPoisson) {
+  const Csr<double> a = gen_poisson2d(24, 24);
+  const std::vector<double> b = make_rhs(a, 2);
+  const SpcgOptions opt = fast_options();
+  const SpcgResult<double> serial = spcg_solve(a, b, opt);
+  ASSERT_TRUE(serial.solve.converged());
+
+  for (const index_t parts : {2, 4}) {
+    for (const bool overlap : {false, true}) {
+      DistOptions dopt;
+      dopt.parts = parts;
+      dopt.options = opt;
+      dopt.overlap = overlap;
+      const DistSolveResult<double> dist =
+          dist_pcg_solve(b, dist_setup(a, dopt), dopt);
+      EXPECT_TRUE(dist.solve.converged())
+          << "P=" << parts << " overlap=" << overlap;
+      EXPECT_LT(dist.solve.final_residual_norm, 1e-6);
+      // The block preconditioner is weaker than the global one; the bench's
+      // acceptance bar is 1.5x on Poisson, the test margin is looser.
+      EXPECT_LE(dist.solve.iterations, 3 * serial.solve.iterations + 50);
+      EXPECT_GT(dist.stats.halo_bytes, 0u);
+      EXPECT_GT(dist.stats.allreduces, 0u);
+    }
+  }
+}
+
+TEST(DistSolve, MultiPartConvergesOnSuiteMatrices) {
+  for (const index_t id : {0, 1}) {
+    const GeneratedMatrix gen = generate_suite_matrix(id);
+    const SpcgOptions opt = fast_options();
+    const SpcgResult<double> serial = spcg_solve(gen.a, gen.b, opt);
+    ASSERT_TRUE(serial.solve.converged()) << "suite id " << id;
+    for (const index_t parts : {2, 4}) {
+      DistOptions dopt;
+      dopt.parts = parts;
+      dopt.options = opt;
+      dopt.partition.strategy = PartitionOptions::Strategy::kBfsGreedy;
+      const DistSolveResult<double> dist =
+          dist_pcg_solve(gen.b, dist_setup(gen.a, dopt), dopt);
+      EXPECT_TRUE(dist.solve.converged())
+          << "suite id " << id << " P=" << parts;
+    }
+  }
+}
+
+TEST(DistSolve, ZeroRhsAnswersDirectlyLikePcg) {
+  const Csr<double> a = gen_poisson2d(10, 10);
+  const std::vector<double> b(static_cast<std::size_t>(a.rows), 0.0);
+  DistOptions dopt;
+  dopt.parts = 2;
+  dopt.options = fast_options();
+  const DistSolveResult<double> dist =
+      dist_pcg_solve(b, dist_setup(a, dopt), dopt);
+  EXPECT_TRUE(dist.solve.converged());
+  EXPECT_EQ(dist.solve.iterations, 0);
+  for (const double v : dist.solve.x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(DistSolve, CheckedExecutorRunsConcurrentRanks) {
+  // Every rank drives the race-detecting SpTRSV executor inside its own
+  // thread — a TSan-visible mix of the analysis layer and the communicator.
+  const Csr<double> a = gen_poisson2d(14, 14);
+  const std::vector<double> b = make_rhs(a, 4);
+  DistOptions dopt;
+  dopt.parts = 2;
+  dopt.options = fast_options();
+  dopt.options.executor = TrsvExec::kLevelScheduledChecked;
+  for (const bool overlap : {false, true}) {
+    dopt.overlap = overlap;
+    const DistSolveResult<double> dist =
+        dist_pcg_solve(b, dist_setup(a, dopt), dopt);
+    EXPECT_TRUE(dist.solve.converged()) << "overlap=" << overlap;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DistSession — runtime integration
+
+TEST(DistSession, CacheSharesSubdomainSetupsAcrossSessions) {
+  const auto a = std::make_shared<const Csr<double>>(gen_poisson2d(16, 16));
+  const std::vector<double> b = make_rhs(*a, 1);
+  DistOptions opt;
+  opt.parts = 3;
+  opt.options = fast_options();
+  auto cache = std::make_shared<SetupCache<double>>(16);
+
+  const DistSolverSession<double> first(a, opt, cache);
+  EXPECT_EQ(first.subdomain_cache_hits(), 0);
+  const DistSolverSession<double> second(a, opt, cache);
+  EXPECT_EQ(second.subdomain_cache_hits(), 3);
+
+  const DistSolveResult<double> run = second.solve(b);
+  EXPECT_TRUE(run.solve.converged());
+}
+
+TEST(DistSession, TelemetryRecordsCommunicationCounters) {
+  const Csr<double> a = gen_poisson2d(12, 12);
+  const std::vector<double> b = make_rhs(a, 8);
+  DistOptions opt;
+  opt.parts = 2;
+  opt.options = fast_options();
+  TelemetryRegistry telemetry;
+  const DistSolverSession<double> session(a, opt, nullptr, &telemetry);
+  const DistSolveResult<double> run = session.solve(b);
+  ASSERT_TRUE(run.solve.converged());
+
+  EXPECT_EQ(telemetry.counter("dist.solves").value(), 1u);
+  EXPECT_EQ(telemetry.counter("dist.allreduces").value(),
+            run.stats.allreduces);
+  EXPECT_EQ(telemetry.histogram("dist.halo_bytes").count(), 1u);
+  EXPECT_EQ(telemetry.histogram("dist.halo_bytes").max(),
+            run.stats.halo_bytes);
+}
+
+TEST(DistSession, ServiceRoutesDistributedRequests) {
+  const auto a = std::make_shared<const Csr<double>>(gen_poisson2d(16, 16));
+  SolveService<double> service({2, 8});
+
+  auto make_request = [&] {
+    ServiceRequest<double> req;
+    req.a = a;
+    req.b = make_rhs(*a, 3);
+    req.options = fast_options();
+    req.parts = 2;
+    return req;
+  };
+  const ServiceReply<double> first = service.submit(make_request()).reply.get();
+  ASSERT_EQ(first.status, RequestStatus::kOk);
+  EXPECT_TRUE(first.solve.converged());
+  EXPECT_FALSE(first.used_fallback);
+  EXPECT_FALSE(first.setup_cache_hit);
+
+  // Same system + options: every subdomain setup comes from the cache.
+  const ServiceReply<double> second =
+      service.submit(make_request()).reply.get();
+  ASSERT_EQ(second.status, RequestStatus::kOk);
+  EXPECT_TRUE(second.setup_cache_hit);
+}
+
+TEST(DistSession, SolveMatchesStandaloneDistPcg) {
+  const Csr<double> a = gen_poisson2d(14, 14);
+  const std::vector<double> b = make_rhs(a, 6);
+  DistOptions opt;
+  opt.parts = 2;
+  opt.options = fast_options();
+  const DistSolverSession<double> session(a, opt);
+  const DistSolveResult<double> via_session = session.solve(b);
+  const DistSolveResult<double> direct =
+      dist_pcg_solve(b, dist_setup(a, opt), opt);
+  // Deterministic end to end: same partition, same subdomain setups, same
+  // rank-order reductions.
+  EXPECT_EQ(via_session.solve.x, direct.solve.x);
+  EXPECT_EQ(via_session.solve.iterations, direct.solve.iterations);
+}
+
+}  // namespace
+}  // namespace spcg

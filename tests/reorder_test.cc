@@ -119,6 +119,74 @@ TEST(Rcm, OrderingChangesWavefronts) {
   EXPECT_GT(count_wavefronts(rcm), wf_shuffled);
 }
 
+TEST(ConnectedComponents, LabelsAreDenseAndDeterministic) {
+  // Three pieces: chain {0..3}, isolated vertex {4}, chain {5..9}. Labels
+  // are numbered by first appearance, so the expected labeling is exact.
+  std::vector<Triplet<double>> ts;
+  for (index_t i = 0; i < 10; ++i) ts.push_back({i, i, 2.0});
+  for (index_t i = 0; i < 3; ++i) {
+    ts.push_back({i, i + 1, -1.0});
+    ts.push_back({i + 1, i, -1.0});
+  }
+  for (index_t i = 5; i < 9; ++i) {
+    ts.push_back({i, i + 1, -1.0});
+    ts.push_back({i + 1, i, -1.0});
+  }
+  const Csr<double> a = csr_from_triplets<double>(10, 10, std::move(ts));
+  index_t count = 0;
+  const std::vector<index_t> label = connected_components(a, &count);
+  EXPECT_EQ(count, 3);
+  const std::vector<index_t> expected{0, 0, 0, 0, 1, 2, 2, 2, 2, 2};
+  EXPECT_EQ(label, expected);
+}
+
+TEST(ConnectedComponents, SingleComponentOnGrid) {
+  const Csr<double> a = gen_poisson2d(7, 5);
+  index_t count = 0;
+  const std::vector<index_t> label = connected_components(a, &count);
+  EXPECT_EQ(count, 1);
+  for (const index_t l : label) EXPECT_EQ(l, 0);
+}
+
+TEST(Rcm, ComponentsStayContiguousInThePermutation) {
+  // Two grids side by side with no coupling. RCM must order each component
+  // as one contiguous block of positions — the property the distributed
+  // partitioner's RCM pre-pass relies on (dist/partition.h).
+  const Csr<double> g1 = gen_poisson2d(6, 6);  // rows 0..35
+  const Csr<double> g2 = gen_poisson2d(5, 5);  // rows 36..60
+  std::vector<Triplet<double>> ts;
+  for (index_t i = 0; i < g1.rows; ++i)
+    for (index_t q = g1.rowptr[static_cast<std::size_t>(i)];
+         q < g1.rowptr[static_cast<std::size_t>(i) + 1]; ++q)
+      ts.push_back({i, g1.colind[static_cast<std::size_t>(q)],
+                    g1.values[static_cast<std::size_t>(q)]});
+  for (index_t i = 0; i < g2.rows; ++i)
+    for (index_t q = g2.rowptr[static_cast<std::size_t>(i)];
+         q < g2.rowptr[static_cast<std::size_t>(i) + 1]; ++q)
+      ts.push_back({g1.rows + i,
+                    g1.rows + g2.colind[static_cast<std::size_t>(q)],
+                    g2.values[static_cast<std::size_t>(q)]});
+  const index_t n = g1.rows + g2.rows;
+  const Csr<double> a = csr_from_triplets<double>(n, n, std::move(ts));
+
+  index_t count = 0;
+  const std::vector<index_t> label = connected_components(a, &count);
+  ASSERT_EQ(count, 2);
+  const Permutation perm = reverse_cuthill_mckee(a);
+  EXPECT_NO_THROW(validate_permutation(perm));
+  // Positions of each component must form one gap-free range.
+  for (index_t c = 0; c < count; ++c) {
+    index_t lo = n, hi = -1, members = 0;
+    for (index_t v = 0; v < n; ++v) {
+      if (label[static_cast<std::size_t>(v)] != c) continue;
+      lo = std::min(lo, perm[static_cast<std::size_t>(v)]);
+      hi = std::max(hi, perm[static_cast<std::size_t>(v)]);
+      ++members;
+    }
+    EXPECT_EQ(hi - lo + 1, members) << "component " << c << " not contiguous";
+  }
+}
+
 TEST(Bandwidth, SimpleCases) {
   const Csr<double> diag = csr_from_triplets<double>(
       3, 3, {{0, 0, 1}, {1, 1, 1}, {2, 2, 1}});

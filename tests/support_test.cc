@@ -8,6 +8,7 @@
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/table.h"
+#include "support/telemetry.h"
 
 namespace spcg {
 namespace {
@@ -202,6 +203,71 @@ TEST(Table, HistogramRendering) {
   const std::string out = render_histogram(h, "%", 10);
   EXPECT_NE(out.find("[0.00,0.50)"), std::string::npos);
   EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Telemetry, MaxGaugeKeepsRunningMaximum) {
+  MaxGauge g;
+  EXPECT_EQ(g.value(), 0u);
+  g.update(7);
+  g.update(3);  // smaller values never lower the gauge
+  EXPECT_EQ(g.value(), 7u);
+  g.update(100);
+  EXPECT_EQ(g.value(), 100u);
+  g.reset();
+  EXPECT_EQ(g.value(), 0u);
+}
+
+TEST(Telemetry, LogHistogramBucketsByBitWidth) {
+  LogHistogram h;
+  EXPECT_EQ(h.percentile(50.0), 0u);  // empty
+  h.record(0);  // bucket 0
+  h.record(1);  // bucket 1
+  h.record(2);  // bucket 2 (2..3)
+  h.record(3);  // bucket 2
+  h.record(7);  // bucket 3 (4..7)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 13u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  // Percentile answers with the covering bucket's inclusive upper edge.
+  EXPECT_EQ(h.percentile(100.0), 7u);
+  EXPECT_EQ(h.percentile(50.0), 3u);
+  EXPECT_EQ(LogHistogram::bucket_upper_edge(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_upper_edge(3), 7u);
+  EXPECT_EQ(LogHistogram::bucket_upper_edge(64), ~std::uint64_t{0});
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Telemetry, RegistryFlattensGaugesAndHistogramsIntoSnapshot) {
+  TelemetryRegistry reg;
+  reg.counter("solves").add(3);
+  reg.max_gauge("peak").update(42);
+  reg.histogram("bytes").record(1000);
+  reg.histogram("bytes").record(8);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("solves"), &reg.counter("solves"));
+  EXPECT_EQ(&reg.histogram("bytes"), &reg.histogram("bytes"));
+
+  auto value_of = [&](const std::string& name) -> std::uint64_t {
+    for (const CounterSample& s : reg.snapshot())
+      if (s.name == name) return s.value;
+    ADD_FAILURE() << "sample " << name << " missing";
+    return 0;
+  };
+  EXPECT_EQ(value_of("solves"), 3u);
+  EXPECT_EQ(value_of("peak.max"), 42u);
+  EXPECT_EQ(value_of("bytes.count"), 2u);
+  EXPECT_EQ(value_of("bytes.sum"), 1008u);
+  EXPECT_EQ(value_of("bytes.max"), 1000u);
+
+  reg.reset();
+  EXPECT_EQ(reg.counter("solves").value(), 0u);
+  EXPECT_EQ(reg.histogram("bytes").count(), 0u);
 }
 
 }  // namespace
