@@ -6,10 +6,18 @@
 // latency percentiles, and the measured speedup against the same trace
 // re-running the full per-request pipeline (the pre-runtime call pattern).
 //
+// Observability (DESIGN.md §9): --trace-out records every pipeline span
+// (setup phases, cache lookups, queue wait vs execute, PCG) into a Chrome
+// trace_event JSON file — open it in chrome://tracing or ui.perfetto.dev.
+// --metrics-out writes a Prometheus-style text exposition of the service
+// telemetry plus trace-derived per-phase totals. --trace-every additionally
+// samples per-iteration solver spans (spmv / sptrsv sweeps / reductions).
+//
 // Usage:
 //   spcg-serve [--requests N] [--matrices M] [--workers W] [--seed S]
 //              [--fill K] [--deadline-ms D] [--parts P] [--overlap]
-//              [--no-compare]
+//              [--no-compare] [--trace-out FILE] [--metrics-out FILE]
+//              [--trace-every N]
 //
 //   --requests N     trace length (default 200)
 //   --matrices M     distinct suite matrices, ids 0..M-1 (default 8, max 107)
@@ -21,16 +29,23 @@
 //                    (default 1 = serial session)
 //   --overlap        use the communication-overlapped distributed body
 //   --no-compare     skip the per-request baseline replay
+//   --trace-out F    enable tracing; write Chrome trace JSON to F at exit
+//   --metrics-out F  write Prometheus text exposition to F at exit
+//   --trace-every N  sample per-iteration solver spans every N iterations
+//                    (default 0 = off; requires --trace-out)
 //
-// Numeric flags are validated: a non-numeric value, trailing garbage
-// ("10x"), or an out-of-range value (zero/negative where a positive count is
-// required) is a usage error with a message naming the flag.
+// Every --flag also accepts the --flag=value spelling. Output paths are
+// validated (opened) before any worker starts, so an unwritable path is a
+// usage error instead of a lost trace after the run. Numeric flags are
+// validated: a non-numeric value, trailing garbage ("10x"), or an
+// out-of-range value is a usage error with a message naming the flag.
 //
 // Exit codes: 0 = every request ok, 1 = some request failed/expired,
 // 2 = usage error.
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -38,8 +53,10 @@
 
 #include "gen/suite.h"
 #include "runtime/runtime.h"
-#include "support/stats.h"
+#include "support/expo.h"
+#include "support/telemetry.h"
 #include "support/timer.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -55,13 +72,17 @@ struct CliOptions {
   int parts = 1;
   bool overlap = false;
   bool compare = true;
+  int trace_every = 0;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--requests N] [--matrices M] [--workers W] [--seed S]\n"
                "  [--fill K] [--deadline-ms D] [--parts P] [--overlap]"
-               " [--no-compare]\n";
+               " [--no-compare]\n"
+               "  [--trace-out FILE] [--metrics-out FILE] [--trace-every N]\n";
 }
 
 /// Parse `text` as a base-10 integer in [min, max]. Rejects non-numeric
@@ -88,8 +109,20 @@ bool parse_int(const std::string& flag, const char* text, long min, long max,
 
 bool parse(int argc, char** argv, CliOptions* out) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " expects a value\n";
         return nullptr;
@@ -101,6 +134,16 @@ bool parse(int argc, char** argv, CliOptions* out) {
     auto next_int = [&](long min, long max, int* dst) {
       const char* text = next();
       return text != nullptr && parse_int(arg, text, min, max, dst);
+    };
+    auto next_string = [&](std::string* dst) {
+      const char* text = next();
+      if (text == nullptr) return false;
+      if (*text == '\0') {
+        std::cerr << "error: " << arg << " expects a non-empty path\n";
+        return false;
+      }
+      *dst = text;
+      return true;
     };
     if (arg == "--requests") {
       if (!next_int(1, 1'000'000, &out->requests)) return false;
@@ -125,10 +168,21 @@ bool parse(int argc, char** argv, CliOptions* out) {
       out->overlap = true;
     } else if (arg == "--no-compare") {
       out->compare = false;
+    } else if (arg == "--trace-out") {
+      if (!next_string(&out->trace_out)) return false;
+    } else if (arg == "--metrics-out") {
+      if (!next_string(&out->metrics_out)) return false;
+    } else if (arg == "--trace-every") {
+      if (!next_int(1, std::numeric_limits<int>::max(), &out->trace_every))
+        return false;
     } else {
       std::cerr << "error: unknown flag '" << arg << "'\n";
       return false;
     }
+  }
+  if (out->trace_every > 0 && out->trace_out.empty()) {
+    std::cerr << "error: --trace-every requires --trace-out\n";
+    return false;
   }
   return true;
 }
@@ -142,8 +196,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Validate output paths before any matrix is generated or worker started:
+  // an unwritable --trace-out must not cost a full replay.
+  std::ofstream trace_file, metrics_file;
+  if (!cli.trace_out.empty()) {
+    trace_file.open(cli.trace_out, std::ios::out | std::ios::trunc);
+    if (!trace_file.is_open()) {
+      std::cerr << "error: --trace-out path '" << cli.trace_out
+                << "' is not writable\n";
+      return 2;
+    }
+  }
+  if (!cli.metrics_out.empty()) {
+    metrics_file.open(cli.metrics_out, std::ios::out | std::ios::trunc);
+    if (!metrics_file.is_open()) {
+      std::cerr << "error: --metrics-out path '" << cli.metrics_out
+                << "' is not writable\n";
+      return 2;
+    }
+  }
+  if (!cli.trace_out.empty()) global_trace().set_enabled(true);
+
   SpcgOptions opt;
   opt.pcg.tolerance = 1e-8;
+  opt.pcg.trace_every = cli.trace_every;
   if (cli.fill >= 0) {
     opt.preconditioner = PrecondKind::kIluK;
     opt.fill_level = cli.fill;
@@ -175,6 +251,11 @@ int main(int argc, char** argv) {
               << (cli.overlap ? " (overlapped)" : "");
   std::cout << "\n\n";
 
+  // Request-scoped latency sketch: the shutdown summary and the Prometheus
+  // exposition both read this LogHistogram.
+  TelemetryRegistry serve_telemetry;
+  LogHistogram& latency_us = serve_telemetry.histogram("request.latency_us");
+
   // Replay through the service.
   WallTimer timer;
   SolveService<double> service(
@@ -194,15 +275,14 @@ int main(int argc, char** argv) {
   }
 
   int ok = 0, fallbacks = 0, not_ok = 0;
-  std::vector<double> latency_ms;       // queue + solve, per answered request
   double est_uncached_seconds = 0.0;    // per-request pipeline estimate
-  latency_ms.reserve(tickets.size());
   for (auto& t : tickets) {
     const ServiceReply<double> reply = t.reply.get();
     if (reply.status == RequestStatus::kOk) {
       ++ok;
       if (reply.used_fallback) ++fallbacks;
-      latency_ms.push_back(1e3 * (reply.queue_seconds + reply.solve_seconds));
+      latency_us.record(static_cast<std::uint64_t>(
+          1e6 * (reply.queue_seconds + reply.solve_seconds)));
       if (reply.setup)
         est_uncached_seconds += reply.setup->build_seconds + reply.solve_seconds;
     } else {
@@ -220,13 +300,16 @@ int main(int argc, char** argv) {
     std::cout << "  " << s.name << " = " << s.value << "\n";
   std::cout << "  setup_cache.hit_rate = " << stats.cache.hit_rate() << "\n\n";
 
-  if (latency_ms.empty()) {
+  // Shutdown latency summary straight off the LogHistogram (percentiles are
+  // inclusive upper bounds of the covering power-of-two bucket).
+  if (latency_us.count() == 0) {
     std::cout << "latency: no request was answered\n";
   } else {
-    std::cout << "latency (queue + solve, ms): p50 "
-              << percentile(latency_ms, 50.0) << ", p90 "
-              << percentile(latency_ms, 90.0) << ", p99 "
-              << percentile(latency_ms, 99.0) << "\n";
+    std::cout << "latency (queue + solve, us, log-histogram upper bounds): "
+              << "count " << latency_us.count() << ", p50 <= "
+              << latency_us.percentile(50.0) << ", p99 <= "
+              << latency_us.percentile(99.0) << ", max "
+              << latency_us.max() << "\n";
   }
   std::cout << "wall clock: " << service_seconds << " s for " << ok
             << " ok / " << fallbacks << " fallback / " << not_ok
@@ -234,8 +317,31 @@ int main(int argc, char** argv) {
   std::cout << "estimated uncached (per-request setup + solve): "
             << est_uncached_seconds << " s\n";
 
+  // Export trace and metrics before the (optional) comparison replay so the
+  // trace covers exactly the service run.
+  std::vector<TraceEvent> events;
+  if (!cli.trace_out.empty()) {
+    events = global_trace().drain();
+    write_chrome_trace(trace_file, events);
+    trace_file.close();
+    std::cout << "trace: " << events.size() << " spans -> " << cli.trace_out
+              << "\n";
+  }
+  if (!cli.metrics_out.empty()) {
+    std::vector<CounterSample> samples = service.telemetry_snapshot();
+    for (const CounterSample& s : serve_telemetry.snapshot())
+      samples.push_back(s);
+    const std::vector<PhaseTotal> phases = aggregate_phases(events);
+    metrics_file << prometheus_text(samples, phases);
+    metrics_file.close();
+    std::cout << "metrics: " << samples.size() << " samples, "
+              << phases.size() << " phases -> " << cli.metrics_out << "\n";
+  }
+
   if (cli.compare) {
-    // The pre-runtime call pattern: full pipeline per request.
+    // The pre-runtime call pattern: full pipeline per request. Tracing is
+    // switched off so the comparison measures the un-traced pipeline.
+    global_trace().set_enabled(false);
     timer.reset();
     for (const Trace& t : trace)
       spcg_solve(*matrices[static_cast<std::size_t>(t.matrix)], t.b, opt);

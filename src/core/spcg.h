@@ -20,6 +20,7 @@
 #include "precond/preconditioner.h"
 #include "solver/pcg.h"
 #include "support/timer.h"
+#include "support/trace.h"
 
 namespace spcg {
 
@@ -101,9 +102,13 @@ SpcgSetup<T> spcg_setup(const Csr<T>& a, const SpcgOptions& opt = {}) {
   // Phase 1: wavefront-aware sparsification (Algorithm 2).
   const Csr<T>* precond_input = &a;
   WallTimer timer;
-  if (opt.sparsify_enabled) {
-    s.decision = wavefront_aware_sparsify(a, opt.sparsify);
-    precond_input = &s.decision->chosen.a_hat;
+  {
+    Span span("sparsify", "setup");
+    span.arg("enabled", opt.sparsify_enabled);
+    if (opt.sparsify_enabled) {
+      s.decision = wavefront_aware_sparsify(a, opt.sparsify);
+      precond_input = &s.decision->chosen.a_hat;
+    }
   }
   s.sparsify_seconds = timer.seconds();
   s.matrix_wavefronts = opt.sparsify_enabled ? s.decision->wavefronts_chosen
@@ -112,15 +117,24 @@ SpcgSetup<T> spcg_setup(const Csr<T>& a, const SpcgOptions& opt = {}) {
   // Phase 2: incomplete factorization of the (sparsified) matrix, split into
   // triangular factors with their level schedules built exactly once.
   timer.reset();
-  s.factorization =
-      opt.preconditioner == PrecondKind::kIlu0
-          ? ilu0(*precond_input, opt.ilu)
-          : iluk(*precond_input, opt.fill_level, opt.ilu, opt.max_row_fill);
-  s.factor_nnz = s.factorization.lu.nnz();
-  s.factors = split_lu(s.factorization);
-  s.l_schedule = level_schedule(s.factors.l, Triangle::kLower);
-  s.u_schedule = level_schedule(s.factors.u, Triangle::kUpper);
-  s.wavefronts_factor = s.l_schedule.num_levels();
+  {
+    Span span("factorize", "setup");
+    span.arg("kind", to_string(opt.preconditioner));
+    s.factorization =
+        opt.preconditioner == PrecondKind::kIlu0
+            ? ilu0(*precond_input, opt.ilu)
+            : iluk(*precond_input, opt.fill_level, opt.ilu, opt.max_row_fill);
+    s.factor_nnz = s.factorization.lu.nnz();
+    span.arg("factor_nnz", static_cast<std::int64_t>(s.factor_nnz));
+  }
+  {
+    Span span("inspect", "setup");
+    s.factors = split_lu(s.factorization);
+    s.l_schedule = level_schedule(s.factors.l, Triangle::kLower);
+    s.u_schedule = level_schedule(s.factors.u, Triangle::kUpper);
+    s.wavefronts_factor = s.l_schedule.num_levels();
+    span.arg("levels", static_cast<std::int64_t>(s.wavefronts_factor));
+  }
   s.factorization_seconds = timer.seconds();
   return s;
 }

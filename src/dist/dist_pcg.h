@@ -41,6 +41,7 @@
 #include "sparse/norms.h"
 #include "sparse/ops.h"
 #include "support/timer.h"
+#include "support/trace.h"
 
 namespace spcg {
 
@@ -78,8 +79,12 @@ template <class T>
 DistSetup<T> dist_setup(const Csr<T>& a, const DistOptions& opt = {}) {
   DistSetup<T> s;
   WallTimer timer;
-  s.partition = make_partition(a, opt.parts, opt.partition);
-  s.locals = build_local_systems(a, s.partition);
+  {
+    Span span("partition", "dist");
+    span.arg("parts", static_cast<std::int64_t>(opt.parts));
+    s.partition = make_partition(a, opt.parts, opt.partition);
+    s.locals = build_local_systems(a, s.partition);
+  }
   s.partition_seconds = timer.seconds();
   s.edge_cut = partition_stats(a, s.partition).edge_cut;
 
@@ -243,6 +248,8 @@ void dist_rank_classic(Communicator<T>& comm, const DistSetup<T>& setup,
   const double target = opt.relative ? opt.tolerance * b_norm : opt.tolerance;
   if (rank == 0 && opt.record_history) res.residual_history.push_back(r_norm);
 
+  const bool trace_iters =
+      opt.trace_every > 0 && global_trace().enabled();
   SolveStatus status = SolveStatus::kMaxIterations;
   std::int32_t k = 0;
   for (; k < opt.max_iterations; ++k) {
@@ -250,17 +257,30 @@ void dist_rank_classic(Communicator<T>& comm, const DistSetup<T>& setup,
       status = SolveStatus::kConverged;
       break;
     }
+    const TraceSampleScope sample(trace_iters && k % opt.trace_every == 0);
+    Span iter_span("iteration", "dist");
+    iter_span.arg("k", k);
     // Blocking halo exchange, then the full local SpMV (the overlapped body
     // hides the exchange behind the interior half instead).
-    auto h = comm.exchange_begin(p.data());
-    comm.exchange_end(h, local, std::span<T>(halo));
-    spmv(local.a_interior, std::span<const T>(p), std::span<T>(w));
-    spmv_add(local.a_boundary, std::span<const T>(halo), std::span<T>(w));
+    {
+      Span span("halo_exchange", "dist");
+      auto h = comm.exchange_begin(p.data());
+      comm.exchange_end(h, local, std::span<T>(halo));
+    }
+    {
+      Span span("spmv", "dist");
+      spmv(local.a_interior, std::span<const T>(p), std::span<T>(w));
+      spmv_add(local.a_boundary, std::span<const T>(halo), std::span<T>(w));
+    }
 
-    red[0] = static_cast<double>(
-        partial_dot(std::span<const T>(p), std::span<const T>(w)));
-    comm.allreduce(std::span<double>(red.data(), 1));
-    const T pw = static_cast<T>(red[0]);
+    T pw;
+    {
+      Span span("allreduce", "dist");
+      red[0] = static_cast<double>(
+          partial_dot(std::span<const T>(p), std::span<const T>(w)));
+      comm.allreduce(std::span<double>(red.data(), 1));
+      pw = static_cast<T>(red[0]);
+    }
     if (!(pw > T{0})) {
       status = SolveStatus::kBreakdown;
       break;
@@ -268,11 +288,17 @@ void dist_rank_classic(Communicator<T>& comm, const DistSetup<T>& setup,
     const T alpha = rz / pw;
     axpy(alpha, std::span<const T>(p), std::span<T>(x));
     axpy(-alpha, std::span<const T>(w), std::span<T>(r));
-    m.apply(r, std::span<T>(z));
-    red[0] = static_cast<double>(
-        partial_dot(std::span<const T>(r), std::span<const T>(z)));
-    red[1] = static_cast<double>(partial_sumsq(std::span<const T>(r)));
-    comm.allreduce(std::span<double>(red));
+    {
+      Span span("precond", "dist");
+      m.apply(r, std::span<T>(z));
+    }
+    {
+      Span span("allreduce", "dist");
+      red[0] = static_cast<double>(
+          partial_dot(std::span<const T>(r), std::span<const T>(z)));
+      red[1] = static_cast<double>(partial_sumsq(std::span<const T>(r)));
+      comm.allreduce(std::span<double>(red));
+    }
     const T rz_next = static_cast<T>(red[0]);
     if (rz == T{0} || rz_next != rz_next) {
       status = SolveStatus::kBreakdown;
@@ -316,8 +342,12 @@ void dist_rank_overlapped(Communicator<T>& comm, const DistSetup<T>& setup,
   auto local_spmv_overlapped = [&](std::span<const T> in, std::span<T> out) {
     auto h = comm.exchange_begin(in.data());
     WallTimer t;
-    spmv(local.a_interior, in, out);
+    {
+      Span span("spmv", "dist");
+      spmv(local.a_interior, in, out);
+    }
     comm.note_overlap_compute(t.seconds());
+    Span span("halo_exchange", "dist");
     comm.exchange_end(h, local, std::span<T>(halo));
     spmv_add(local.a_boundary, std::span<const T>(halo), out);
   };
@@ -341,6 +371,8 @@ void dist_rank_overlapped(Communicator<T>& comm, const DistSetup<T>& setup,
   double r_norm = norm_from_sumsq<T>(red3[2]);
   if (rank == 0 && opt.record_history) res.residual_history.push_back(r_norm);
 
+  const bool trace_iters =
+      opt.trace_every > 0 && global_trace().enabled();
   std::array<double, 2> red{};
   SolveStatus status = SolveStatus::kMaxIterations;
   std::int32_t k = 0;
@@ -349,6 +381,9 @@ void dist_rank_overlapped(Communicator<T>& comm, const DistSetup<T>& setup,
       status = SolveStatus::kConverged;
       break;
     }
+    const TraceSampleScope sample(trace_iters && k % opt.trace_every == 0);
+    Span iter_span("iteration", "dist");
+    iter_span.arg("k", k);
     // The iteration's reduction, hidden behind the preconditioner apply. If
     // apply throws (checked executor), finish the collective first so the
     // abort fires outside the open window (comm.h contract).
@@ -440,6 +475,9 @@ DistSolveResult<T> dist_pcg_solve(std::span<const T> b,
 
   auto body = [&](index_t rank) {
     Communicator<T> comm(&world, rank);
+    Span rank_span("rank", "dist");
+    rank_span.arg("rank", static_cast<std::int64_t>(rank));
+    rank_span.arg("overlap", opt.overlap);
     try {
       if (opt.overlap) {
         detail::dist_rank_overlapped(comm, setup, b, opt.options, x_global,
@@ -452,7 +490,12 @@ DistSolveResult<T> dist_pcg_solve(std::span<const T> b,
       errors[static_cast<std::size_t>(rank)] = std::current_exception();
       comm.abort();
     }
-    rank_stats[static_cast<std::size_t>(rank)] = comm.stats();
+    const CommStats cs = comm.stats();
+    rank_stats[static_cast<std::size_t>(rank)] = cs;
+    rank_span.arg("allreduces", cs.allreduces);
+    rank_span.arg("halo_exchanges", cs.halo_exchanges);
+    rank_span.arg("halo_bytes", cs.halo_bytes);
+    rank_span.arg("wait_seconds", cs.wait_seconds);
   };
 
   std::vector<std::thread> threads;

@@ -11,6 +11,7 @@
 #include "sparse/csr.h"
 #include "sparse/ops.h"
 #include "sptrsv/sptrsv.h"
+#include "support/trace.h"
 #include "wavefront/levels.h"
 
 namespace spcg {
@@ -83,10 +84,18 @@ void ilu_apply(const TriangularFactors<T>& f, const LevelSchedule& l_sched,
                const LevelSchedule& u_sched, TrsvExec exec,
                std::span<const T> r, std::span<T> tmp, std::span<T> z) {
   if (exec == TrsvExec::kSerial) {
-    sptrsv_lower_serial(f.l, r, tmp);
+    {
+      Span span("sptrsv_lower", "solve");
+      sptrsv_lower_serial(f.l, r, tmp);
+    }
+    Span span("sptrsv_upper", "solve");
     sptrsv_upper_serial(f.u, std::span<const T>(tmp.data(), tmp.size()), z);
   } else if (exec == TrsvExec::kLevelScheduled) {
-    sptrsv_lower_levels(f.l, l_sched, r, tmp);
+    {
+      Span span("sptrsv_lower", "solve");
+      sptrsv_lower_levels(f.l, l_sched, r, tmp);
+    }
+    Span span("sptrsv_upper", "solve");
     sptrsv_upper_levels(f.u, u_sched,
                         std::span<const T>(tmp.data(), tmp.size()), z);
   } else {

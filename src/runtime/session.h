@@ -25,6 +25,7 @@
 #include "runtime/fingerprint.h"
 #include "runtime/setup_cache.h"
 #include "support/timer.h"
+#include "support/trace.h"
 
 namespace spcg {
 
@@ -54,7 +55,7 @@ class SolverSession {
   SolverSession(std::shared_ptr<const Csr<T>> a, SpcgOptions opt,
                 std::shared_ptr<SetupCache<T>> cache = nullptr)
       : a_(std::move(a)), opt_(std::move(opt)), cache_(std::move(cache)) {
-    init(fingerprint(*a_));
+    init(fingerprint_traced());
   }
 
   /// Borrow a caller-owned matrix (must outlive the session).
@@ -87,6 +88,9 @@ class SolverSession {
   SessionSolveResult<T> solve(std::span<const T> b) const {
     SessionSolveResult<T> out;
     WallTimer timer;
+    // Covers the applier construction (per-solve scratch) plus the nested
+    // pcg span, so request timelines have no untraced gap before iterating.
+    Span span("session.solve", "runtime");
     const IluApplier<T> m(setup_->artifacts.factors,
                           setup_->artifacts.l_schedule,
                           setup_->artifacts.u_schedule, opt_.executor);
@@ -171,6 +175,14 @@ class SolverSession {
   }
 
  private:
+  /// Hashing the matrix is the only per-session cost a cache hit cannot
+  /// amortize; give it its own span so request timelines show it.
+  MatrixFingerprint fingerprint_traced() const {
+    Span span("fingerprint", "runtime");
+    span.arg("rows", static_cast<std::int64_t>(a_->rows));
+    return fingerprint(*a_);
+  }
+
   void init(const MatrixFingerprint& fp) {
     const SetupKey key = make_setup_key(fp, opt_);
     if (cache_) {

@@ -29,6 +29,7 @@
 #include "runtime/fingerprint.h"
 #include "support/telemetry.h"
 #include "support/timer.h"
+#include "support/trace.h"
 
 namespace spcg {
 
@@ -75,6 +76,7 @@ class SetupCache {
   SetupPtr get_or_build(const SetupKey& key,
                         const std::function<SpcgSetup<T>()>& build,
                         bool* was_hit = nullptr) {
+    Span lookup_span("setup_cache.lookup", "runtime");
     std::promise<SetupPtr> promise;
     std::shared_future<SetupPtr> future;
     std::uint64_t my_generation = 0;
@@ -103,13 +105,17 @@ class SetupCache {
         }
       }
     }
+    lookup_span.arg("hit", !build_here);
+    lookup_span.finish();
     if (build_here) {
       try {
+        Span build_span("setup_cache.build", "runtime");
         WallTimer timer;
         auto setup = std::make_shared<SolverSetup<T>>();
         setup->key = key;
         setup->artifacts = build();
         setup->build_seconds = timer.seconds();
+        build_span.arg("build_seconds", setup->build_seconds);
         promise.set_value(std::move(setup));
       } catch (...) {
         promise.set_exception(std::current_exception());
@@ -123,7 +129,10 @@ class SetupCache {
         }
       }
     }
-    return future.get();  // rethrows the build error to every waiter
+    // Builders resolve instantly; racing threads block here until the
+    // winning build fulfills the future (or rethrows its error).
+    Span wait_span("setup_cache.wait", "runtime");
+    return future.get();
   }
 
   [[nodiscard]] SetupCacheStats stats() const {

@@ -34,6 +34,7 @@
 #include "runtime/setup_cache.h"
 #include "support/error.h"
 #include "support/telemetry.h"
+#include "support/trace.h"
 
 namespace spcg {
 
@@ -219,13 +220,24 @@ class SolveService {
         job = std::move(queue_.front());
         queue_.pop_front();
       }
+      // Queue wait is recorded retroactively (submission -> pickup) so the
+      // trace timeline shows waiting and executing as adjacent spans.
+      global_trace().record("queue_wait", "service", job.submitted_at,
+                            MonotonicClock::now(),
+                            {trace_arg("id", job.id)});
       ServiceReply<T> reply;
-      try {
-        reply = process(job);
-      } catch (const std::exception& e) {
-        reply.status = RequestStatus::kFailed;  // defensive; process() catches
-        reply.error = e.what();
-        failed_.add();
+      {
+        Span span("execute", "service");
+        span.arg("id", job.id);
+        try {
+          reply = process(job);
+        } catch (const std::exception& e) {
+          reply.status = RequestStatus::kFailed;  // defensive; process() catches
+          reply.error = e.what();
+          failed_.add();
+        }
+        span.arg("status", to_string(reply.status));
+        span.arg("fallback", reply.used_fallback);
       }
       completed_.add();
       job.promise.set_value(std::move(reply));

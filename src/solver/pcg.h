@@ -14,6 +14,7 @@
 #include "sparse/csr.h"
 #include "sparse/norms.h"
 #include "sparse/ops.h"
+#include "support/trace.h"
 
 namespace spcg {
 
@@ -23,6 +24,13 @@ struct PcgOptions {
   bool relative = false;      // if set, compare against tolerance * ||b||
   std::int32_t max_iterations = 1000;
   bool record_history = false;  // keep ||r|| per iteration
+  /// Per-iteration trace sampling: when the global trace recorder is
+  /// enabled and trace_every > 0, every trace_every-th iteration emits
+  /// "iteration"/"spmv"/"precond"/"reduce" spans (and the SpTRSV sweep
+  /// spans nested under the preconditioner apply). 0 = per-iteration spans
+  /// off; the enclosing "pcg" span is always emitted while tracing. Does
+  /// not affect the setup cache key (solve-phase option).
+  std::int32_t trace_every = 0;
 };
 
 enum class SolveStatus {
@@ -54,6 +62,10 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
   SPCG_CHECK(m.rows() == a.rows);
   const auto n = static_cast<std::size_t>(a.rows);
 
+  Span pcg_span("pcg", "solve");
+  pcg_span.arg("rows", static_cast<std::int64_t>(a.rows));
+  pcg_span.arg("nnz", static_cast<std::int64_t>(a.nnz()));
+
   SolveResult<T> res;
   res.x.assign(n, T{0});  // x0 = 0
 
@@ -64,12 +76,18 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
     // the solver could only exit at max_iterations; answer directly instead.
     res.status = SolveStatus::kConverged;
     if (opt.record_history) res.residual_history.push_back(0.0);
+    pcg_span.arg("iterations", std::int64_t{0});
     return res;
   }
 
+  const bool trace_iters = opt.trace_every > 0 && global_trace().enabled();
   std::vector<T> r(b.begin(), b.end());  // r0 = b - A*0 = b
   std::vector<T> z(n), p(n), w(n);
-  m.apply(r, std::span<T>(z));
+  {
+    const TraceSampleScope sample(trace_iters);
+    Span span("precond", "solve");
+    m.apply(r, std::span<T>(z));
+  }
   p = z;
 
   T rz = dot(std::span<const T>(r), std::span<const T>(z));
@@ -85,17 +103,41 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
       res.status = SolveStatus::kConverged;
       break;
     }
-    spmv(a, std::span<const T>(p), std::span<T>(w));
-    const T pw = dot(std::span<const T>(p), std::span<const T>(w));
+    // Per-iteration phase spans, sampled every trace_every-th iteration;
+    // unsampled iterations suppress these and any nested spans (the SpTRSV
+    // sweeps inside m.apply) on this thread.
+    const TraceSampleScope sample(trace_iters &&
+                                  k % opt.trace_every == 0);
+    Span iter_span("iteration", "solve");
+    iter_span.arg("k", k);
+    T pw;
+    {
+      Span span("spmv", "solve");
+      spmv(a, std::span<const T>(p), std::span<T>(w));
+    }
+    {
+      Span span("reduce", "solve");
+      pw = dot(std::span<const T>(p), std::span<const T>(w));
+    }
     if (!(pw > T{0})) {  // SPD curvature must be positive; catches NaN too
       res.status = SolveStatus::kBreakdown;
       break;
     }
     const T alpha = rz / pw;
-    axpy(alpha, std::span<const T>(p), std::span<T>(res.x));
-    axpy(-alpha, std::span<const T>(w), std::span<T>(r));
-    m.apply(r, std::span<T>(z));
-    const T rz_next = dot(std::span<const T>(r), std::span<const T>(z));
+    {
+      Span span("axpy", "solve");
+      axpy(alpha, std::span<const T>(p), std::span<T>(res.x));
+      axpy(-alpha, std::span<const T>(w), std::span<T>(r));
+    }
+    {
+      Span span("precond", "solve");
+      m.apply(r, std::span<T>(z));
+    }
+    T rz_next;
+    {
+      Span span("reduce", "solve");
+      rz_next = dot(std::span<const T>(r), std::span<const T>(z));
+    }
     if (rz == T{0} || rz_next != rz_next) {  // NaN guard
       res.status = SolveStatus::kBreakdown;
       ++k;
@@ -103,14 +145,22 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
     }
     const T beta = rz_next / rz;
     rz = rz_next;
-    xpby(std::span<const T>(z), beta, std::span<T>(p));
-    r_norm = static_cast<double>(norm2(std::span<const T>(r)));
+    {
+      Span span("axpy", "solve");
+      xpby(std::span<const T>(z), beta, std::span<T>(p));
+    }
+    {
+      Span span("reduce", "solve");
+      r_norm = static_cast<double>(norm2(std::span<const T>(r)));
+    }
     if (opt.record_history) res.residual_history.push_back(r_norm);
   }
   if (res.status == SolveStatus::kMaxIterations && r_norm < target)
     res.status = SolveStatus::kConverged;
 
   res.iterations = k;
+  pcg_span.arg("iterations", k);
+  pcg_span.arg("converged", res.converged());
   // Recompute the true residual (the recurrence can drift).
   std::vector<T> ax(n);
   spmv(a, std::span<const T>(res.x), std::span<T>(ax));

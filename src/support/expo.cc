@@ -1,0 +1,266 @@
+#include "support/expo.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace spcg {
+
+namespace detail {
+// Shared with trace.cc's trace_arg string quoting.
+std::string trace_quote_json(std::string_view s);
+}  // namespace detail
+
+std::string json_quote(std::string_view s) {
+  return detail::trace_quote_json(s);
+}
+
+namespace {
+
+/// Microseconds with nanosecond precision, as Chrome's "ts"/"dur" expect.
+std::string micros_str(std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+void write_event(std::ostream& os, const TraceEvent& ev) {
+  os << "{\"name\":" << json_quote(ev.name) << ",\"cat\":"
+     << json_quote(ev.category) << ",\"ph\":\"X\",\"ts\":"
+     << micros_str(ev.start_ns) << ",\"dur\":" << micros_str(ev.duration_ns)
+     << ",\"pid\":1,\"tid\":" << ev.tid;
+  if (!ev.args.empty()) {
+    os << ",\"args\":{";
+    for (std::size_t i = 0; i < ev.args.size(); ++i) {
+      if (i != 0) os << ",";
+      os << json_quote(ev.args[i].key) << ":" << ev.args[i].value;
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+std::string sanitize_metric_name(std::string_view prefix,
+                                 std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  out.push_back('_');
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Prometheus label values escape backslash, quote and newline.
+std::string label_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        std::span<const TraceEvent> events) {
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n";
+    write_event(os, events[i]);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_json(std::span<const TraceEvent> events) {
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  return os.str();
+}
+
+std::string prometheus_text(std::span<const CounterSample> samples,
+                            std::span<const PhaseTotal> phases,
+                            std::string_view prefix) {
+  std::ostringstream os;
+  if (!samples.empty()) {
+    os << "# Flattened telemetry registry (counters, max-gauges, "
+          "log-histogram count/sum/max/p50/p99).\n";
+    for (const CounterSample& s : samples)
+      os << sanitize_metric_name(prefix, s.name) << " " << s.value << "\n";
+  }
+  if (!phases.empty()) {
+    const std::string seconds =
+        sanitize_metric_name(prefix, "phase_seconds_total");
+    const std::string count = sanitize_metric_name(prefix, "phase_count_total");
+    os << "# HELP " << seconds
+       << " Total traced wall-clock per pipeline phase.\n"
+       << "# TYPE " << seconds << " counter\n";
+    for (const PhaseTotal& p : phases) {
+      char val[48];
+      std::snprintf(val, sizeof(val), "%.9f", p.total_seconds());
+      os << seconds << "{category=\"" << label_escape(p.category)
+         << "\",phase=\"" << label_escape(p.name) << "\"} " << val << "\n";
+    }
+    os << "# HELP " << count << " Traced span count per pipeline phase.\n"
+       << "# TYPE " << count << " counter\n";
+    for (const PhaseTotal& p : phases)
+      os << count << "{category=\"" << label_escape(p.category)
+         << "\",phase=\"" << label_escape(p.name) << "\"} " << p.count
+         << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal structural JSON scanner (RFC 8259).
+
+namespace {
+
+struct JsonScanner {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    if (at_end() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!at_end()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (at_end()) return false;
+        const char e = text[pos++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i)
+            if (at_end() || std::isxdigit(static_cast<unsigned char>(
+                                text[pos++])) == 0)
+              return false;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+      return false;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+      ++pos;
+    return true;
+  }
+
+  bool number() {
+    consume('-');
+    if (consume('0')) {
+      // no leading zeros
+    } else if (!digits()) {
+      return false;
+    }
+    if (consume('.') && !digits()) return false;
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (at_end()) return false;
+    bool ok = false;
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      skip_ws();
+      if (consume('}')) {
+        ok = true;
+      } else {
+        for (;;) {
+          skip_ws();
+          if (!string()) break;
+          skip_ws();
+          if (!consume(':')) break;
+          if (!value()) break;
+          skip_ws();
+          if (consume(',')) continue;
+          ok = consume('}');
+          break;
+        }
+      }
+    } else if (c == '[') {
+      ++pos;
+      skip_ws();
+      if (consume(']')) {
+        ok = true;
+      } else {
+        for (;;) {
+          if (!value()) break;
+          skip_ws();
+          if (consume(',')) continue;
+          ok = consume(']');
+          break;
+        }
+      }
+    } else if (c == '"') {
+      ok = string();
+    } else if (c == 't') {
+      ok = literal("true");
+    } else if (c == 'f') {
+      ok = literal("false");
+    } else if (c == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool is_valid_json(std::string_view text) {
+  JsonScanner scanner{text};
+  if (!scanner.value()) return false;
+  scanner.skip_ws();
+  return scanner.at_end();
+}
+
+}  // namespace spcg

@@ -92,9 +92,14 @@ class LogHistogram {
     return (std::uint64_t{1} << b) - 1;
   }
 
-  /// Upper bound on the p-th percentile (p in [0, 100]): the upper edge of
-  /// the first bucket whose cumulative count reaches p% of the total.
-  /// Returns 0 when nothing was recorded.
+  /// Upper bound on the p-th percentile (p in [0, 100]; values outside are
+  /// clamped): the *inclusive upper edge* of the first bucket whose
+  /// cumulative count reaches p% of the total — at least p% of recorded
+  /// values are <= the answer, and the answer is a value the covering
+  /// bucket could actually contain (never an interpolation). p=0 answers
+  /// with the first non-empty bucket's upper edge (the tightest bound this
+  /// sketch has on the minimum); p=100 bounds the maximum by its bucket
+  /// edge, which may exceed max(). Returns 0 when nothing was recorded.
   [[nodiscard]] std::uint64_t percentile(double p) const noexcept {
     const std::uint64_t total = count();
     if (total == 0) return 0;

@@ -1,13 +1,29 @@
 // Wall-clock timing utilities.
+//
+// Every duration the repo reports (phase seconds, trace spans, deadline
+// checks) is measured on MonotonicClock, pinned to std::chrono::steady_clock.
+// std::chrono::high_resolution_clock is deliberately avoided: the standard
+// allows it to alias system_clock, which can jump backwards under NTP
+// adjustment and would produce negative spans. The static_assert makes the
+// monotonicity guarantee a compile-time fact.
 #pragma once
 
 #include <chrono>
 
 namespace spcg {
 
+/// The single monotonic clock source for the whole repo: WallTimer, trace
+/// spans (support/trace.h) and service deadlines all read this clock, so
+/// their timestamps are directly comparable.
+using MonotonicClock = std::chrono::steady_clock;
+static_assert(MonotonicClock::is_steady,
+              "spcg timing requires a monotonic clock");
+
 /// Monotonic wall-clock timer. Starts on construction.
 class WallTimer {
  public:
+  using Clock = MonotonicClock;
+
   WallTimer() : start_(Clock::now()) {}
 
   /// Restart the timer.
@@ -22,7 +38,6 @@ class WallTimer {
   [[nodiscard]] double micros() const { return seconds() * 1e6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

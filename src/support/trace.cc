@@ -1,0 +1,201 @@
+#include "support/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace spcg {
+
+namespace {
+
+std::string format_number(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+/// JSON string escaping shared by trace_arg and the exporters (expo.cc).
+std::string quote_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+std::string trace_quote_json(std::string_view s) { return quote_json(s); }
+}  // namespace detail
+
+TraceArg trace_arg(std::string key, std::int64_t v) {
+  return {std::move(key), std::to_string(v)};
+}
+
+TraceArg trace_arg(std::string key, std::uint64_t v) {
+  return {std::move(key), std::to_string(v)};
+}
+
+TraceArg trace_arg(std::string key, double v) {
+  return {std::move(key), format_number("%.17g", v)};
+}
+
+TraceArg trace_arg(std::string key, bool v) {
+  return {std::move(key), v ? "true" : "false"};
+}
+
+TraceArg trace_arg(std::string key, std::string_view v) {
+  return {std::move(key), quote_json(v)};
+}
+
+namespace {
+
+std::atomic<std::uint64_t> g_recorder_ids{0};
+
+/// Thread-local cache of (recorder incarnation -> buffer). A destroyed
+/// recorder's entries go stale harmlessly: the shared_ptr keeps the buffer
+/// bytes alive and the id never matches a new recorder.
+struct BufferCacheEntry {
+  std::uint64_t recorder_id = 0;
+  std::shared_ptr<void> buffer;
+};
+thread_local std::vector<BufferCacheEntry> t_buffer_cache;
+
+thread_local bool t_trace_suppressed = false;
+
+}  // namespace
+
+bool trace_suppressed() noexcept { return t_trace_suppressed; }
+
+TraceSampleScope::TraceSampleScope(bool sampled) : prev_(t_trace_suppressed) {
+  t_trace_suppressed = prev_ || !sampled;
+}
+
+TraceSampleScope::~TraceSampleScope() { t_trace_suppressed = prev_; }
+
+TraceRecorder::TraceRecorder(bool enabled)
+    : enabled_(enabled),
+      epoch_ticks_(MonotonicClock::now().time_since_epoch().count()),
+      id_(g_recorder_ids.fetch_add(1, std::memory_order_relaxed) + 1) {}
+
+std::uint64_t TraceRecorder::ns_since_epoch(
+    MonotonicClock::time_point tp) const {
+  const MonotonicClock::time_point e = epoch();
+  if (tp <= e) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp - e).count());
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::buffer_for_this_thread() {
+  for (const BufferCacheEntry& e : t_buffer_cache)
+    if (e.recorder_id == id_)
+      return *static_cast<ThreadBuffer*>(e.buffer.get());
+  auto buf = std::make_shared<ThreadBuffer>();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    buf->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(buf);
+  }
+  t_buffer_cache.push_back({id_, buf});
+  return *buf;
+}
+
+void TraceRecorder::record(std::string_view name, std::string_view category,
+                           MonotonicClock::time_point begin,
+                           MonotonicClock::time_point end,
+                           std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name.assign(name);
+  ev.category.assign(category);
+  ev.start_ns = ns_since_epoch(begin);
+  const std::uint64_t end_ns = ns_since_epoch(end);
+  ev.duration_ns = end_ns > ev.start_ns ? end_ns - ev.start_ns : 0;
+  ev.args = std::move(args);
+  ThreadBuffer& buf = buffer_for_this_thread();
+  ev.tid = buf.tid;
+  {
+    const std::lock_guard<std::mutex> lock(buf.mu);
+    buf.events.push_back(std::move(ev));
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lock(buf->mu);
+    out.insert(out.end(), std::make_move_iterator(buf->events.begin()),
+               std::make_move_iterator(buf->events.end()));
+    buf->events.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+    epoch_ticks_.store(MonotonicClock::now().time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.clear();
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+TraceRecorder& global_trace() {
+  static TraceRecorder recorder(/*enabled=*/false);
+  return recorder;
+}
+
+std::vector<PhaseTotal> aggregate_phases(std::span<const TraceEvent> events) {
+  std::map<std::pair<std::string, std::string>, PhaseTotal> acc;
+  for (const TraceEvent& ev : events) {
+    PhaseTotal& t = acc[{ev.category, ev.name}];
+    if (t.count == 0) {
+      t.category = ev.category;
+      t.name = ev.name;
+    }
+    ++t.count;
+    t.total_ns += ev.duration_ns;
+  }
+  std::vector<PhaseTotal> out;
+  out.reserve(acc.size());
+  for (auto& [key, total] : acc) out.push_back(std::move(total));
+  return out;
+}
+
+}  // namespace spcg

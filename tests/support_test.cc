@@ -1,7 +1,11 @@
 // Unit tests for src/support: statistics, RNG determinism, tables, errors.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <map>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "support/error.h"
@@ -268,6 +272,93 @@ TEST(Telemetry, RegistryFlattensGaugesAndHistogramsIntoSnapshot) {
   reg.reset();
   EXPECT_EQ(reg.counter("solves").value(), 0u);
   EXPECT_EQ(reg.histogram("bytes").count(), 0u);
+}
+
+TEST(Telemetry, LogHistogramPercentileEdgeCases) {
+  LogHistogram h;
+  // Empty: every percentile is 0, including the clamped extremes.
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0u);
+  EXPECT_EQ(h.percentile(100.0), 0u);
+  EXPECT_EQ(h.percentile(-10.0), 0u);
+  EXPECT_EQ(h.percentile(1000.0), 0u);
+
+  // Single bucket: values 4..7 all land in bucket 3, so every percentile
+  // answers that bucket's inclusive upper edge — including an answer above
+  // max(), which is the documented bucket-granularity behavior.
+  h.record(4);
+  h.record(5);
+  h.record(6);
+  EXPECT_EQ(h.percentile(0.0), 7u);
+  EXPECT_EQ(h.percentile(50.0), 7u);
+  EXPECT_EQ(h.percentile(100.0), 7u);
+  EXPECT_GT(h.percentile(100.0), h.max());
+
+  // Two buckets: p=0 is the first non-empty bucket's edge (tightest bound
+  // on the minimum), p=100 the last non-empty one's; out-of-range p clamps.
+  h.record(100);  // bucket 7 (64..127)
+  EXPECT_EQ(h.percentile(0.0), 7u);
+  EXPECT_EQ(h.percentile(-5.0), 7u);
+  EXPECT_EQ(h.percentile(100.0), 127u);
+  EXPECT_EQ(h.percentile(250.0), 127u);
+  // 3 of 4 values are <= 7: p75 is still covered by the first bucket.
+  EXPECT_EQ(h.percentile(75.0), 7u);
+  EXPECT_EQ(h.percentile(76.0), 127u);
+}
+
+// Snapshot while writer threads hammer the instruments: every counter-like
+// sample must read monotone non-decreasing across successive snapshots, and
+// the final totals must be exact. Run under TSan in CI (the Telemetry suite
+// is in the sanitizer job's ctest filter).
+TEST(Telemetry, SnapshotIsConsistentUnderConcurrentRecording) {
+  TelemetryRegistry reg;
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kOps = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&reg, &go, t] {
+      // Resolve through the registry inside the thread so create-on-first-
+      // use also races with snapshot().
+      Counter& mine = reg.counter("writer." + std::to_string(t));
+      Counter& shared = reg.counter("shared");
+      LogHistogram& h = reg.histogram("values");
+      MaxGauge& peak = reg.max_gauge("peak");
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        mine.add(1);
+        shared.add(1);
+        h.record(i);
+        peak.update(i);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  std::map<std::string, std::uint64_t> last;
+  for (int s = 0; s < 50; ++s) {
+    for (const CounterSample& sample : reg.snapshot()) {
+      // Histogram percentile samples are bucket edges of a moving
+      // distribution, not counters — only counter-like values are monotone.
+      const bool is_percentile =
+          sample.name.ends_with(".p50") || sample.name.ends_with(".p99");
+      if (is_percentile) continue;
+      const auto [it, fresh] = last.emplace(sample.name, sample.value);
+      if (!fresh) {
+        EXPECT_GE(sample.value, it->second) << sample.name << " went back";
+        it->second = sample.value;
+      }
+    }
+  }
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(reg.counter("shared").value(), kWriters * kOps);
+  EXPECT_EQ(reg.histogram("values").count(), kWriters * kOps);
+  EXPECT_EQ(reg.max_gauge("peak").value(), kOps - 1);
+  for (int t = 0; t < kWriters; ++t)
+    EXPECT_EQ(reg.counter("writer." + std::to_string(t)).value(), kOps);
 }
 
 }  // namespace
