@@ -1,0 +1,291 @@
+// Autotune study: what does each stage of the tuning funnel buy?
+//
+// For a panel of suite matrices, three strategies solve the same repeated
+// workload (one tune + `--repeats` solves, the amortization story of
+// DESIGN.md §10):
+//
+//   fixed          — the best of the paper's fixed sparsify ratios
+//                    {10, 5, 1}% plus the non-sparsified baseline, each run
+//                    as a full per-config pipeline (what a user without a
+//                    tuner must do: try them all, keep the best);
+//   cost-model     — trust the cost prior alone: solve with the top-ranked
+//                    candidate, no measured trials;
+//   autotuned      — the full measured funnel (prior prune + budgeted
+//                    early-aborted trials + tuning-DB record).
+//
+// Per strategy the JSON records the chosen config, iterations, and the
+// amortized end-to-end seconds (tuning/selection cost included, spread over
+// the repeats). A second tuner pointed at the recorded DB demonstrates the
+// zero-trial warm path. CI runs --smoke and uploads BENCH_autotune.json and
+// the tuning DB as artifacts.
+//
+// Usage: autotune_study [--out FILE] [--db FILE] [--repeats N] [--smoke]
+//   --out FILE    output path (default BENCH_autotune.json)
+//   --db FILE     tuning database path (default BENCH_autotune_db.json)
+//   --repeats N   solves per matrix the tuning cost amortizes over
+//                 (default 10)
+//   --smoke       small panel / small budget for CI
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "autotune/autotune.h"
+#include "gen/generators.h"
+#include "gen/suite.h"
+#include "support/expo.h"
+#include "support/timer.h"
+
+using namespace spcg;
+
+namespace {
+
+struct StrategyRun {
+  std::string strategy;
+  std::string config;
+  std::int32_t iterations = 0;
+  bool converged = false;
+  double select_seconds = 0.0;   // tuning / trying-all cost, paid once
+  double solve_seconds = 0.0;    // the repeated solves
+  double amortized_seconds = 0.0;  // select/repeats + solve per repeat
+  std::size_t trials = 0;        // measured trials spent selecting
+  bool db_hit = false;
+};
+
+struct MatrixStudy {
+  MatrixSpec spec;
+  index_t rows = 0;
+  std::int64_t nnz = 0;
+  std::vector<StrategyRun> runs;
+};
+
+/// Repeat-solve a fixed SpcgOptions config through a session (setup once).
+StrategyRun run_fixed_config(const std::string& label, const Csr<double>& a,
+                             const std::vector<double>& b,
+                             const SpcgOptions& opt, int repeats) {
+  StrategyRun out;
+  out.strategy = "fixed";
+  out.config = label;
+  WallTimer timer;
+  const SolverSession<double> session(a, opt);
+  out.select_seconds = timer.seconds();  // setup counts as selection cost
+  timer.reset();
+  for (int r = 0; r < repeats; ++r) {
+    const SessionSolveResult<double> run = session.solve(b);
+    out.iterations = run.solve.iterations;
+    out.converged = run.solve.converged();
+  }
+  out.solve_seconds = timer.seconds();
+  out.amortized_seconds =
+      (out.select_seconds + out.solve_seconds) / std::max(1, repeats);
+  return out;
+}
+
+StrategyRun run_tuned(const std::string& strategy, const Tuner<double>& tuner,
+                      const Csr<double>& a, const std::vector<double>& b,
+                      const TuneConfig& config, double select_seconds,
+                      std::size_t trials, bool db_hit, int repeats) {
+  StrategyRun out;
+  out.strategy = strategy;
+  out.config = config_id(config);
+  out.select_seconds = select_seconds;
+  out.trials = trials;
+  out.db_hit = db_hit;
+  WallTimer timer;
+  for (int r = 0; r < repeats; ++r) {
+    const TunedSolve<double> run = solve_with_config(
+        a, std::span<const double>(b), config, tuner.options(), tuner.cache());
+    out.iterations = run.solve.iterations;
+    out.converged = run.solve.converged();
+  }
+  out.solve_seconds = timer.seconds();
+  out.amortized_seconds =
+      (out.select_seconds + out.solve_seconds) / std::max(1, repeats);
+  return out;
+}
+
+std::string to_json(const std::vector<MatrixStudy>& studies, int repeats,
+                    const std::string& db_path, std::size_t db_records) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\n"
+     << "  \"schema\": \"spcg-autotune-v1\",\n"
+     << "  \"repeats\": " << repeats << ",\n"
+     << "  \"suite_checksum\": \"" << std::hex << suite_checksum() << std::dec
+     << "\",\n"
+     << "  \"tune_db\": " << json_quote(db_path) << ",\n"
+     << "  \"tune_db_records\": " << db_records << ",\n"
+     << "  \"matrices\": [";
+  bool first_m = true;
+  for (const MatrixStudy& m : studies) {
+    os << (first_m ? "\n" : ",\n") << "    {\n"
+       << "      \"matrix\": " << json_quote(m.spec.name) << ",\n"
+       << "      \"category\": " << json_quote(m.spec.category) << ",\n"
+       << "      \"rows\": " << m.rows << ",\n"
+       << "      \"nnz\": " << m.nnz << ",\n"
+       << "      \"strategies\": [";
+    bool first_s = true;
+    for (const StrategyRun& s : m.runs) {
+      os << (first_s ? "\n" : ",\n") << "        {\"strategy\": "
+         << json_quote(s.strategy) << ", \"config\": " << json_quote(s.config)
+         << ", \"iterations\": " << s.iterations
+         << ", \"converged\": " << (s.converged ? "true" : "false")
+         << ", \"select_seconds\": " << s.select_seconds
+         << ", \"solve_seconds\": " << s.solve_seconds
+         << ", \"amortized_seconds\": " << s.amortized_seconds
+         << ", \"trials\": " << s.trials
+         << ", \"db_hit\": " << (s.db_hit ? "true" : "false") << "}";
+      first_s = false;
+    }
+    os << (first_s ? "]" : "\n      ]") << "\n    }";
+    first_m = false;
+  }
+  os << (first_m ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_autotune.json";
+  std::string db_path = "BENCH_autotune_db.json";
+  int repeats = 10;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " expects a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--db") {
+      db_path = next();
+    } else if (arg == "--repeats") {
+      repeats = std::max(1, std::atoi(next()));
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--out FILE] [--db FILE] [--repeats N] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  // Panel: one matrix per broad band (fixed ids, deterministic suite).
+  const std::vector<index_t> panel =
+      smoke ? std::vector<index_t>{0, 9} : std::vector<index_t>{0, 9, 23, 41};
+
+  TunerOptions topt;
+  topt.base.pcg.tolerance = 1e-8;
+  topt.base.pcg.max_iterations = 2000;
+  if (smoke) topt.measure_top = 4;
+  auto db = std::make_shared<TuneDb>();
+  const Tuner<double> tuner(topt, db);
+
+  std::vector<MatrixStudy> studies;
+  for (const index_t id : panel) {
+    const GeneratedMatrix gm = generate_suite_matrix(id);
+    MatrixStudy study;
+    study.spec = gm.spec;
+    study.rows = gm.a.rows;
+    study.nnz = static_cast<std::int64_t>(gm.a.nnz());
+
+    // Strategy 1: best fixed configuration — every candidate pays its full
+    // pipeline; the winner's amortized cost includes trying the losers.
+    const std::vector<std::pair<std::string, double>> fixed = {
+        {"off", -1.0}, {"fixed10", 10.0}, {"fixed5", 5.0}, {"fixed1", 1.0}};
+    StrategyRun best_fixed;
+    double try_all_seconds = 0.0;
+    for (const auto& [label, ratio] : fixed) {
+      SpcgOptions opt = topt.base;
+      if (ratio < 0.0) {
+        opt.sparsify_enabled = false;
+      } else {
+        opt.sparsify_enabled = true;
+        opt.sparsify.ratios = {ratio};
+        opt.sparsify.omega_percent = 0.0;
+      }
+      StrategyRun run = run_fixed_config(label, gm.a, gm.b, opt, repeats);
+      try_all_seconds += run.select_seconds + run.solve_seconds;
+      const bool better =
+          best_fixed.config.empty() ||
+          (run.converged && !best_fixed.converged) ||
+          (run.converged == best_fixed.converged &&
+           run.amortized_seconds < best_fixed.amortized_seconds);
+      if (better) best_fixed = run;
+    }
+    // Charge the search over all fixed configs to the winner's select cost.
+    best_fixed.select_seconds =
+        try_all_seconds - best_fixed.solve_seconds;
+    best_fixed.amortized_seconds =
+        (best_fixed.select_seconds + best_fixed.solve_seconds) /
+        std::max(1, repeats);
+    study.runs.push_back(best_fixed);
+
+    // Strategy 2: cost-model prior alone (no measured trials).
+    {
+      WallTimer timer;
+      const std::vector<CandidatePrior> ranked = rank_candidates(
+          gm.a, enumerate_candidates(topt.space), topt.prior);
+      const double select = timer.seconds();
+      study.runs.push_back(run_tuned("cost-model", tuner, gm.a, gm.b,
+                                     ranked.front().config, select, 0, false,
+                                     repeats));
+    }
+
+    // Strategy 3: the full measured funnel.
+    {
+      WallTimer timer;
+      const TuneOutcome outcome = tuner.tune(gm.a);
+      const double select = timer.seconds();
+      study.runs.push_back(run_tuned("autotuned", tuner, gm.a, gm.b,
+                                     outcome.config, select,
+                                     outcome.trials_measured, outcome.db_hit,
+                                     repeats));
+    }
+
+    // Warm path: a second tune of the same matrix must be a pure DB hit.
+    {
+      WallTimer timer;
+      const TuneOutcome warm = tuner.tune(gm.a);
+      const double select = timer.seconds();
+      StrategyRun run = run_tuned("autotuned-warm", tuner, gm.a, gm.b,
+                                  warm.config, select, warm.trials_measured,
+                                  warm.db_hit, repeats);
+      study.runs.push_back(run);
+    }
+
+    const StrategyRun& tuned = study.runs[study.runs.size() - 2];
+    std::cout << gm.spec.name << ": fixed " << best_fixed.config << " "
+              << best_fixed.amortized_seconds << " s/solve, autotuned "
+              << tuned.config << " " << tuned.amortized_seconds
+              << " s/solve (" << tuned.trials << " trials)\n";
+    studies.push_back(std::move(study));
+  }
+
+  if (!db->save_file(db_path)) {
+    std::cerr << "error: cannot write tuning DB " << db_path << "\n";
+    return 1;
+  }
+  const std::string doc = to_json(studies, repeats, db_path, db->size());
+  if (!is_valid_json(doc)) {
+    std::cerr << "error: generated document failed JSON self-check\n";
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << doc;
+  std::cout << studies.size() << " matrices -> " << out_path << " (tune DB: "
+            << db_path << ", " << db->size() << " records)\n";
+  return 0;
+}

@@ -17,7 +17,7 @@
 //   spcg-serve [--requests N] [--matrices M] [--workers W] [--seed S]
 //              [--fill K] [--deadline-ms D] [--parts P] [--overlap]
 //              [--no-compare] [--trace-out FILE] [--metrics-out FILE]
-//              [--trace-every N]
+//              [--trace-every N] [--autotune] [--tune-db FILE]
 //
 //   --requests N     trace length (default 200)
 //   --matrices M     distinct suite matrices, ids 0..M-1 (default 8, max 107)
@@ -33,11 +33,19 @@
 //   --metrics-out F  write Prometheus text exposition to F at exit
 //   --trace-every N  sample per-iteration solver spans every N iterations
 //                    (default 0 = off; requires --trace-out)
+//   --autotune       let the service's tuner pick each matrix's config
+//                    (first request per matrix tunes; the rest hit the DB)
+//   --tune-db F      persistent tuning database: loaded before workers
+//                    start, saved at exit. A missing file starts empty; a
+//                    corrupt or version-mismatched file degrades to
+//                    in-memory-only tuning with a warning (the bad file is
+//                    left untouched). Serial requests only (--parts 1).
 //
 // Every --flag also accepts the --flag=value spelling. Output paths are
 // validated (opened) before any worker starts, so an unwritable path is a
-// usage error instead of a lost trace after the run. Numeric flags are
-// validated: a non-numeric value, trailing garbage ("10x"), or an
+// usage error instead of a lost trace after the run; --tune-db is probed in
+// append mode so the check never truncates an existing database. Numeric
+// flags are validated: a non-numeric value, trailing garbage ("10x"), or an
 // out-of-range value is a usage error with a message naming the flag.
 //
 // Exit codes: 0 = every request ok, 1 = some request failed/expired,
@@ -75,6 +83,8 @@ struct CliOptions {
   int trace_every = 0;
   std::string trace_out;
   std::string metrics_out;
+  bool autotune = false;
+  std::string tune_db;
 };
 
 void usage(const char* argv0) {
@@ -82,7 +92,8 @@ void usage(const char* argv0) {
             << " [--requests N] [--matrices M] [--workers W] [--seed S]\n"
                "  [--fill K] [--deadline-ms D] [--parts P] [--overlap]"
                " [--no-compare]\n"
-               "  [--trace-out FILE] [--metrics-out FILE] [--trace-every N]\n";
+               "  [--trace-out FILE] [--metrics-out FILE] [--trace-every N]\n"
+               "  [--autotune] [--tune-db FILE]\n";
 }
 
 /// Parse `text` as a base-10 integer in [min, max]. Rejects non-numeric
@@ -175,6 +186,10 @@ bool parse(int argc, char** argv, CliOptions* out) {
     } else if (arg == "--trace-every") {
       if (!next_int(1, std::numeric_limits<int>::max(), &out->trace_every))
         return false;
+    } else if (arg == "--autotune") {
+      out->autotune = true;
+    } else if (arg == "--tune-db") {
+      if (!next_string(&out->tune_db)) return false;
     } else {
       std::cerr << "error: unknown flag '" << arg << "'\n";
       return false;
@@ -182,6 +197,11 @@ bool parse(int argc, char** argv, CliOptions* out) {
   }
   if (out->trace_every > 0 && out->trace_out.empty()) {
     std::cerr << "error: --trace-every requires --trace-out\n";
+    return false;
+  }
+  if (out->autotune && out->parts > 1) {
+    std::cerr << "error: --autotune supports serial requests only "
+                 "(--parts 1)\n";
     return false;
   }
   return true;
@@ -216,6 +236,39 @@ int main(int argc, char** argv) {
     }
   }
   if (!cli.trace_out.empty()) global_trace().set_enabled(true);
+
+  // Tuning database: load before any worker starts, probe writability in
+  // append mode (never truncating an existing DB), and degrade to
+  // in-memory-only tuning — with the file left untouched — when the document
+  // is corrupt or from another schema version.
+  auto tune_db = std::make_shared<TuneDb>();
+  bool persist_tune_db = false;
+  if (!cli.tune_db.empty()) {
+    switch (tune_db->load_file(cli.tune_db)) {
+      case TuneDbLoad::kOk:
+      case TuneDbLoad::kMissing:
+        persist_tune_db = true;
+        break;
+      case TuneDbLoad::kVersionMismatch:
+        std::cerr << "warning: --tune-db '" << cli.tune_db
+                  << "' has an unsupported schema version; tuning "
+                     "in-memory only, file left untouched\n";
+        break;
+      case TuneDbLoad::kCorrupt:
+        std::cerr << "warning: --tune-db '" << cli.tune_db
+                  << "' is corrupt; tuning in-memory only, file left "
+                     "untouched\n";
+        break;
+    }
+    if (persist_tune_db) {
+      std::ofstream probe(cli.tune_db, std::ios::out | std::ios::app);
+      if (!probe.is_open()) {
+        std::cerr << "error: --tune-db path '" << cli.tune_db
+                  << "' is not writable\n";
+        return 2;
+      }
+    }
+  }
 
   SpcgOptions opt;
   opt.pcg.tolerance = 1e-8;
@@ -258,8 +311,12 @@ int main(int argc, char** argv) {
 
   // Replay through the service.
   WallTimer timer;
-  SolveService<double> service(
-      {cli.workers, static_cast<std::size_t>(cli.matrices) * 2});
+  SolveService<double>::Options service_opt;
+  service_opt.workers = cli.workers;
+  service_opt.cache_capacity = static_cast<std::size_t>(cli.matrices) * 2;
+  service_opt.tune_db = tune_db;
+  service_opt.tuner.base = opt;
+  SolveService<double> service(service_opt);
   std::vector<SolveService<double>::Ticket> tickets;
   tickets.reserve(trace.size());
   for (Trace& t : trace) {
@@ -271,16 +328,18 @@ int main(int argc, char** argv) {
       req.deadline = std::chrono::milliseconds(cli.deadline_ms);
     req.parts = static_cast<index_t>(cli.parts);
     req.overlap_comm = cli.overlap;
+    req.autotune = cli.autotune;
     tickets.push_back(service.submit(std::move(req)));
   }
 
-  int ok = 0, fallbacks = 0, not_ok = 0;
+  int ok = 0, fallbacks = 0, not_ok = 0, tune_db_hits = 0;
   double est_uncached_seconds = 0.0;    // per-request pipeline estimate
   for (auto& t : tickets) {
     const ServiceReply<double> reply = t.reply.get();
     if (reply.status == RequestStatus::kOk) {
       ++ok;
       if (reply.used_fallback) ++fallbacks;
+      if (reply.tune_db_hit) ++tune_db_hits;
       latency_us.record(static_cast<std::uint64_t>(
           1e6 * (reply.queue_seconds + reply.solve_seconds)));
       if (reply.setup)
@@ -316,6 +375,21 @@ int main(int argc, char** argv) {
             << " not-ok\n";
   std::cout << "estimated uncached (per-request setup + solve): "
             << est_uncached_seconds << " s\n";
+
+  if (cli.autotune) {
+    std::cout << "autotune: " << service.tune_db()->size()
+              << " matrices in DB, " << tune_db_hits
+              << " requests answered from the DB\n";
+  }
+  if (persist_tune_db) {
+    if (tune_db->save_file(cli.tune_db)) {
+      std::cout << "tune-db: " << tune_db->size() << " record(s) -> "
+                << cli.tune_db << "\n";
+    } else {
+      std::cerr << "warning: could not write --tune-db '" << cli.tune_db
+                << "'\n";
+    }
+  }
 
   // Export trace and metrics before the (optional) comparison replay so the
   // trace covers exactly the service run.

@@ -1,0 +1,17 @@
+// Umbrella header of the autotuning subsystem (DESIGN.md §10):
+//
+//   features.h    — structural feature vectors + scale-free distance
+//   config.h      — the candidate space and its SpcgOptions projection
+//   cost_prior.h  — cost-model ranking that prunes the space pre-measurement
+//   tune_db.h     — persistent, versioned store of tuning winners
+//   tuner.h       — the measurement-refined search (exact-hit / warm-start /
+//                   prior / budgeted early-aborted trials)
+//   fill_level.h  — paper-§3.3 best-K probe with per-candidate telemetry
+#pragma once
+
+#include "autotune/config.h"        // IWYU pragma: export
+#include "autotune/cost_prior.h"    // IWYU pragma: export
+#include "autotune/features.h"      // IWYU pragma: export
+#include "autotune/fill_level.h"    // IWYU pragma: export
+#include "autotune/tune_db.h"       // IWYU pragma: export
+#include "autotune/tuner.h"         // IWYU pragma: export

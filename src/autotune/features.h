@@ -1,0 +1,137 @@
+// Structural feature vectors for the autotuning subsystem (DESIGN.md §10).
+//
+// A feature vector summarizes the properties of a matrix that drive the
+// cost/convergence trade-offs the tuner searches over: size and density
+// (roofline terms), bandwidth (locality), diagonal dominance (how much
+// sparsification the convergence indicator will tolerate) and the wavefront
+// level structure of the lower-triangular dependence pattern (the quantity
+// sparsification attacks). Features are the nearest-neighbor key of the
+// tuning database: an unseen matrix warm-starts from the recorded winner of
+// the structurally closest matrix already tuned.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sparse/csr.h"
+#include "wavefront/levels.h"
+
+namespace spcg {
+
+/// Structural summary of one matrix. All fields are deterministic functions
+/// of the matrix bits, so the vector itself never needs to be hashed — the
+/// MatrixFingerprint identifies the matrix, the features describe it.
+struct MatrixFeatures {
+  double rows = 0.0;
+  double nnz = 0.0;
+  double avg_nnz_per_row = 0.0;
+  double max_nnz_per_row = 0.0;
+  double avg_bandwidth = 0.0;      // mean |i - j| over stored entries
+  double max_bandwidth = 0.0;
+  double diag_dominance_min = 0.0; // min_i a_ii / sum_{j!=i} |a_ij|
+  double diag_dominance_avg = 0.0;
+  double wavefront_levels = 0.0;   // level count of the lower-triangle DAG
+  double avg_level_width = 0.0;    // rows / levels
+  double max_level_width = 0.0;    // peak wavefront parallelism
+
+  friend bool operator==(const MatrixFeatures& a, const MatrixFeatures& b) {
+    return a.rows == b.rows && a.nnz == b.nnz &&
+           a.avg_nnz_per_row == b.avg_nnz_per_row &&
+           a.max_nnz_per_row == b.max_nnz_per_row &&
+           a.avg_bandwidth == b.avg_bandwidth &&
+           a.max_bandwidth == b.max_bandwidth &&
+           a.diag_dominance_min == b.diag_dominance_min &&
+           a.diag_dominance_avg == b.diag_dominance_avg &&
+           a.wavefront_levels == b.wavefront_levels &&
+           a.avg_level_width == b.avg_level_width &&
+           a.max_level_width == b.max_level_width;
+  }
+};
+
+/// Extract the feature vector: one pass over the entries plus one level-set
+/// inspection of the lower-triangular pattern.
+template <class T>
+MatrixFeatures extract_features(const Csr<T>& a) {
+  SPCG_CHECK(a.rows == a.cols);
+  MatrixFeatures f;
+  f.rows = static_cast<double>(a.rows);
+  f.nnz = static_cast<double>(a.nnz());
+  if (a.rows == 0) return f;
+
+  double bandwidth_sum = 0.0;
+  double dominance_sum = 0.0;
+  double dominance_min = std::numeric_limits<double>::infinity();
+  index_t max_row = 0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    const auto cols_i = a.row_cols(i);
+    const auto vals_i = a.row_vals(i);
+    max_row = std::max(max_row, static_cast<index_t>(cols_i.size()));
+    double diag = 0.0;
+    double off_sum = 0.0;
+    for (std::size_t p = 0; p < cols_i.size(); ++p) {
+      const double band = std::abs(static_cast<double>(cols_i[p] - i));
+      bandwidth_sum += band;
+      f.max_bandwidth = std::max(f.max_bandwidth, band);
+      if (cols_i[p] == i) {
+        diag = static_cast<double>(vals_i[p]);
+      } else {
+        off_sum += std::abs(static_cast<double>(vals_i[p]));
+      }
+    }
+    // A row with no off-diagonal coupling is perfectly dominant; cap the
+    // ratio so isolated rows do not blow up the average.
+    const double dominance =
+        off_sum > 0.0 ? diag / off_sum : 1e6;
+    dominance_sum += std::min(dominance, 1e6);
+    dominance_min = std::min(dominance_min, dominance);
+  }
+  f.avg_nnz_per_row = f.nnz / f.rows;
+  f.max_nnz_per_row = static_cast<double>(max_row);
+  f.avg_bandwidth = bandwidth_sum / std::max(1.0, f.nnz);
+  f.diag_dominance_avg = dominance_sum / f.rows;
+  f.diag_dominance_min = std::min(dominance_min, 1e6);
+
+  const LevelSchedule sched = level_schedule(a, Triangle::kLower);
+  f.wavefront_levels = static_cast<double>(sched.num_levels());
+  f.avg_level_width = sched.avg_level_size();
+  f.max_level_width = static_cast<double>(sched.max_level_size());
+  return f;
+}
+
+namespace detail {
+
+/// Squared difference of two strictly positive quantities in log space, so
+/// "twice as big" counts the same at every scale.
+inline double log_gap_sq(double a, double b) {
+  const double la = std::log(std::max(a, 1e-12));
+  const double lb = std::log(std::max(b, 1e-12));
+  return (la - lb) * (la - lb);
+}
+
+}  // namespace detail
+
+/// Scale-free distance between two feature vectors: L2 over log-scaled
+/// dimensions (sizes, widths, dominance). 0 = structurally identical;
+/// values around 1 mean "same ballpark"; the tuner's neighbor threshold
+/// rejects matches beyond a few units.
+inline double feature_distance(const MatrixFeatures& a,
+                               const MatrixFeatures& b) {
+  double d = 0.0;
+  d += detail::log_gap_sq(a.rows, b.rows);
+  d += detail::log_gap_sq(a.nnz, b.nnz);
+  d += detail::log_gap_sq(a.avg_nnz_per_row, b.avg_nnz_per_row);
+  d += detail::log_gap_sq(a.max_nnz_per_row, b.max_nnz_per_row);
+  d += detail::log_gap_sq(a.avg_bandwidth + 1.0, b.avg_bandwidth + 1.0);
+  d += detail::log_gap_sq(a.max_bandwidth + 1.0, b.max_bandwidth + 1.0);
+  d += detail::log_gap_sq(a.diag_dominance_min + 1e-3,
+                          b.diag_dominance_min + 1e-3);
+  d += detail::log_gap_sq(a.diag_dominance_avg + 1e-3,
+                          b.diag_dominance_avg + 1e-3);
+  d += detail::log_gap_sq(a.wavefront_levels, b.wavefront_levels);
+  d += detail::log_gap_sq(a.avg_level_width, b.avg_level_width);
+  d += detail::log_gap_sq(a.max_level_width, b.max_level_width);
+  return std::sqrt(d);
+}
+
+}  // namespace spcg

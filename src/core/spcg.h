@@ -171,14 +171,29 @@ SpcgResult<T> spcg_solve(const Csr<T>& a, const std::vector<T>& b,
   return spcg_solve(a, std::span<const T>(b), opt);
 }
 
+/// One candidate K's measured run inside a best-K selection: the facts the
+/// selection used to rank it, kept so callers (and bench/test telemetry) can
+/// see *why* the winner won instead of only *that* it won.
+struct KCandidateTrial {
+  index_t k = 0;
+  bool converged = false;
+  std::int32_t iterations = 0;
+  double final_residual_norm = 0.0;
+  double setup_seconds = 0.0;   // sparsify + factorize + inspect
+  double solve_seconds = 0.0;
+  bool setup_cache_hit = false;
+};
+
 /// Best-K selection for the baseline PCG-ILU(K) (paper §3.3): the winner of
-/// one run per candidate K. Produced by select_best_fill_level in
-/// runtime/session.h, which routes every candidate through a SolverSession
-/// so the matrix fingerprint and cached setups are shared across candidates.
+/// one run per candidate K. Produced by tune_fill_level (autotune/) and its
+/// compatibility wrapper select_best_fill_level in runtime/session.h, which
+/// route every candidate through a SolverSession so the matrix fingerprint
+/// and cached setups are shared across candidates.
 template <class T>
 struct KSelection {
   index_t k = 0;
   SpcgResult<T> baseline;  // the run that won
+  std::vector<KCandidateTrial> trials;  // every candidate, in probe order
 };
 
 }  // namespace spcg

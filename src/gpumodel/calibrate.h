@@ -1,0 +1,76 @@
+// Cost-model calibration: fit DeviceSpec coefficients to measured
+// micro-kernel timings (DESIGN.md §10, autotune satellite).
+//
+// The analytical model in cost_model.h prices every kernel from five device
+// coefficients — launch overhead, per-wavefront sync, byte time, flop time
+// and the dependent-row latency. Out of the box those come from datasheet
+// constants (device.h); calibrate() replaces them with a least-squares fit
+// against real timings of the same kernels, so the ranking the autotuner's
+// cost prior produces tracks the machine it actually runs on.
+//
+// The fit linearizes the model: where cost_model.h prices a kernel as
+// launch + max(bytes/BW, flops/peak), calibration fits the additive
+// surrogate launch + bytes*per_byte + flops*per_flop (+ level and batch
+// terms for the level-scheduled kernels). The surrogate brackets the max
+// within 2x and keeps the problem linear; the round-trip requirement is
+// ranking fidelity (gpumodel calibration test: Spearman of predicted vs
+// measured over candidate configurations), not absolute-seconds accuracy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpumodel/cost_model.h"
+#include "gpumodel/device.h"
+#include "sparse/csr.h"
+
+namespace spcg {
+
+/// One timed micro-kernel execution.
+struct Measurement {
+  enum class Kind { kSpmv, kTrisolve, kBlas1 };
+  Kind kind = Kind::kSpmv;
+  index_t rows = 0;
+  index_t nnz = 0;                 // kSpmv: matrix nnz (unused for kBlas1)
+  TriSolveStructure structure;     // kTrisolve only
+  int vectors_touched = 0;         // kBlas1 only
+  int flops_per_element = 0;       // kBlas1 only
+  double seconds = 0.0;            // measured wall clock (median of repeats)
+};
+
+/// Fit diagnostics alongside the updated spec.
+struct CalibrationResult {
+  DeviceSpec spec;                 // the calibrated coefficients
+  std::size_t measurements = 0;
+  std::size_t clamped = 0;         // coefficients clamped at their floor
+  double rms_residual_seconds = 0.0;
+  double mean_abs_rel_error = 0.0;  // |pred - meas| / meas, averaged
+};
+
+/// Least-squares fit of the five DeviceSpec cost coefficients
+/// (kernel_launch_us, level_sync_us, dram_gbps, peak_gflops, row_latency_us)
+/// from `measurements`, starting from — and preserving the parallel
+/// structure of — `spec`. Needs at least 5 measurements spanning the kernel
+/// kinds; with fewer, or a degenerate system, the input spec is returned
+/// unchanged (measurements == 0 in the result signals this). Coefficients
+/// that fit negative (timing noise) are clamped to a small positive floor.
+CalibrationResult calibrate(const DeviceSpec& spec,
+                            std::span<const Measurement> measurements,
+                            int value_bytes = 8);
+
+/// Predicted seconds of one measurement under the *additive* surrogate the
+/// fit minimizes (used by the calibration tests to check the round trip;
+/// rankings should also agree with CostModel's max-form predictions).
+double calibrated_prediction(const DeviceSpec& spec, const Measurement& m,
+                             int value_bytes = 8);
+
+/// Time the host micro-kernels (SpMV, serial lower/upper trisolve on the
+/// ILU(0) factors, axpy, dot) on matrix `a` and return one Measurement per
+/// kernel — five in total, enough for a full calibrate() fit — each the
+/// median of `repeats` runs. This is the measurement source for host-side
+/// calibration in tests and bench/autotune_study.
+std::vector<Measurement> host_measurements(const Csr<double>& a,
+                                           int repeats = 5);
+
+}  // namespace spcg

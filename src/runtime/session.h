@@ -212,44 +212,18 @@ class SolverSession {
 /// to the smaller K; when nothing converges, the K with the smallest final
 /// residual.
 ///
-/// Every candidate runs through a SolverSession against one shared cache:
-/// the matrix is fingerprinted once for all candidates, and repeated
-/// selections (or a later solve at the winning K) reuse the cached setups
-/// instead of re-running the pipeline.
+/// Deprecated spelling: this forwards to tune_fill_level in
+/// autotune/fill_level.h, which additionally records every candidate's
+/// timings in KSelection::trials and accepts a TelemetryRegistry. New code
+/// should call tune_fill_level (or the full Tuner in autotune/tuner.h)
+/// directly; this wrapper stays for source compatibility.
 template <class T>
 KSelection<T> select_best_fill_level(
     const Csr<T>& a, std::span<const T> b, SpcgOptions opt,
     std::span<const index_t> candidates,
     std::shared_ptr<SetupCache<T>> cache = nullptr) {
-  SPCG_CHECK(!candidates.empty());
-  opt.sparsify_enabled = false;
-  opt.preconditioner = PrecondKind::kIluK;
-  if (!cache) cache = std::make_shared<SetupCache<T>>(candidates.size());
-  const MatrixFingerprint fp = fingerprint(a);
-
-  struct Best {
-    index_t k;
-    SolverSession<T> session;
-    SessionSolveResult<T> run;
-  };
-  std::optional<Best> best;
-  for (const index_t k : candidates) {
-    opt.fill_level = k;
-    SolverSession<T> session(a, fp, opt, cache);
-    SessionSolveResult<T> run = session.solve(b);
-    const bool better = [&] {
-      if (!best) return true;
-      const bool run_conv = run.solve.converged();
-      const bool best_conv = best->run.solve.converged();
-      if (run_conv != best_conv) return run_conv;
-      if (run_conv) return run.solve.iterations < best->run.solve.iterations;
-      return run.solve.final_residual_norm <
-             best->run.solve.final_residual_norm;
-    }();
-    if (better) best = Best{k, std::move(session), std::move(run)};
-  }
-  return KSelection<T>{best->k,
-                       best->session.to_spcg_result(std::move(best->run))};
+  return tune_fill_level(a, b, std::move(opt), candidates, std::move(cache),
+                         nullptr);
 }
 
 template <class T>
@@ -263,3 +237,9 @@ KSelection<T> select_best_fill_level(
 }
 
 }  // namespace spcg
+
+// The forwarding target. Trailing include so both include orders compile:
+// fill_level.h itself includes this header (its probes run through
+// SolverSession), and the wrapper's call is resolved via argument-dependent
+// lookup at instantiation time, by which point the definition is visible.
+#include "autotune/fill_level.h"  // NOLINT(misc-include-cleaner)

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "autotune/tuner.h"
 #include "core/spcg.h"
 #include "runtime/dist_session.h"
 #include "runtime/session.h"
@@ -53,6 +54,12 @@ struct ServiceRequest {
   index_t parts = 1;
   PartitionOptions partition;  // partitioning strategy when parts > 1
   bool overlap_comm = false;   // communication-overlapped distributed body
+  /// Let the service's Tuner pick the configuration: `options` contributes
+  /// the solve-phase knobs (tolerances, pivot handling), the tuned winner
+  /// overrides the setup-phase ones (sparsify / preconditioner / executor).
+  /// Repeat traffic against the same matrix answers from the tuning DB with
+  /// zero measured trials. Serial requests only (parts == 1).
+  bool autotune = false;
 };
 
 enum class RequestStatus {
@@ -83,6 +90,9 @@ struct ServiceReply {
   double queue_seconds = 0.0;      // submission -> worker pickup
   double solve_seconds = 0.0;      // PCG wall clock of the answering attempt
   std::shared_ptr<const SolverSetup<T>> setup;  // shared artifacts (if any)
+  bool autotuned = false;          // a Tuner picked the configuration
+  std::string tuned_config;        // config_id of the winner (when autotuned)
+  bool tune_db_hit = false;        // winner came straight from the tuning DB
 };
 
 /// Aggregate counters of one service (see also SetupCacheStats).
@@ -100,8 +110,18 @@ template <class T>
 class SolveService {
  public:
   struct Options {
+    Options() = default;
+    Options(int workers_, std::size_t cache_capacity_)
+        : workers(workers_), cache_capacity(cache_capacity_) {}
+
     int workers = 2;
     std::size_t cache_capacity = 16;
+    /// Autotune wiring: tuning database shared by every autotune request
+    /// (created internally when null — e.g. when no --tune-db file backs it)
+    /// and the search knobs. The tuner itself is built by the service so it
+    /// shares the service-wide SetupCache and telemetry.
+    std::shared_ptr<TuneDb> tune_db;
+    TunerOptions tuner;
   };
 
   /// Future + cancellation handle for one submitted request.
@@ -118,12 +138,16 @@ class SolveService {
 
   explicit SolveService(Options opt = {})
       : cache_(std::make_shared<SetupCache<T>>(opt.cache_capacity)),
+        tuner_(opt.tuner, opt.tune_db ? opt.tune_db
+                                      : std::make_shared<TuneDb>(),
+               cache_, &telemetry_),
         submitted_(telemetry_.counter("service.submitted")),
         completed_(telemetry_.counter("service.completed")),
         fallbacks_(telemetry_.counter("service.fallbacks")),
         deadline_expired_(telemetry_.counter("service.deadline_expired")),
         cancelled_(telemetry_.counter("service.cancelled")),
-        failed_(telemetry_.counter("service.failed")) {
+        failed_(telemetry_.counter("service.failed")),
+        autotuned_(telemetry_.counter("service.autotuned")) {
     const int workers = std::max(1, opt.workers);
     workers_.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w)
@@ -198,6 +222,13 @@ class SolveService {
 
   [[nodiscard]] const std::shared_ptr<SetupCache<T>>& cache() const {
     return cache_;
+  }
+
+  /// The service-wide tuner and its tuning database (persisted by the CLI
+  /// between runs; shared so external code can pre-load or save it).
+  [[nodiscard]] const Tuner<T>& tuner() const { return tuner_; }
+  [[nodiscard]] const std::shared_ptr<TuneDb>& tune_db() const {
+    return tuner_.db();
   }
 
  private:
@@ -291,6 +322,42 @@ class SolveService {
         reply.fallback_reason =
             std::string("distributed solve did not converge (") +
             std::to_string(run.solve.iterations) + " iterations)";
+      } else if (job.request.autotune) {
+        // Tuned path: ask the tuner for this matrix's configuration (an
+        // exact DB hit answers with zero measured trials), then execute the
+        // winner. The caller's options contribute the solve-phase knobs.
+        const TuneOutcome tuned = tuner_.tune(*job.request.a);
+        reply.autotuned = true;
+        reply.tuned_config = config_id(tuned.config);
+        reply.tune_db_hit = tuned.db_hit;
+        autotuned_.add();
+        if (session_compatible(tuned.config)) {
+          SolverSession<T> session(
+              job.request.a, to_spcg_options(tuned.config, job.request.options),
+              cache_);
+          SessionSolveResult<T> run = session.solve(job.request.b);
+          reply.setup_cache_hit = session.setup_cache_hit();
+          reply.setup = session.shared_setup();
+          reply.solve_seconds = run.solve_seconds;
+          if (run.solve.converged()) {
+            reply.status = RequestStatus::kOk;
+            reply.solve = std::move(run.solve);
+            return reply;
+          }
+        } else {
+          TunedSolve<T> run = solve_with_config(
+              *job.request.a, std::span<const T>(job.request.b), tuned.config,
+              tuner_.options(), cache_);
+          reply.setup_cache_hit = run.setup_cache_hit;
+          reply.solve_seconds = run.solve_seconds;
+          if (run.solve.converged()) {
+            reply.status = RequestStatus::kOk;
+            reply.solve = std::move(run.solve);
+            return reply;
+          }
+        }
+        reply.fallback_reason = std::string("tuned config ") +
+                                reply.tuned_config + " did not converge";
       } else {
         SolverSession<T> session(job.request.a, job.request.options, cache_);
         SessionSolveResult<T> run = session.solve(job.request.b);
@@ -308,7 +375,8 @@ class SolveService {
                                 " iterations)";
       }
     } catch (const std::exception& e) {
-      if (!distributed && !job.request.options.sparsify_enabled) {
+      if (!distributed && !job.request.autotune &&
+          !job.request.options.sparsify_enabled) {
         reply.status = RequestStatus::kFailed;
         reply.error = e.what();
         failed_.add();
@@ -350,6 +418,7 @@ class SolveService {
   }
 
   std::shared_ptr<SetupCache<T>> cache_;
+  Tuner<T> tuner_;
   TelemetryRegistry telemetry_;
   Counter& submitted_;
   Counter& completed_;
@@ -357,6 +426,7 @@ class SolveService {
   Counter& deadline_expired_;
   Counter& cancelled_;
   Counter& failed_;
+  Counter& autotuned_;
 
   std::mutex mu_;
   std::condition_variable cv_;
