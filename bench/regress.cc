@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/alloc_audit.h"
 #include "core/spcg.h"
 #include "gen/suite.h"
 #include "support/expo.h"
@@ -45,6 +46,12 @@ struct ConfigRun {
   double setup_seconds = 0.0;   // sparsify + factorization (summed repeats)
   double solve_seconds = 0.0;   // PCG wall clock (summed repeats)
   std::vector<PhaseTotal> phases;
+  // Zero-allocation trajectory (ROADMAP Open item 4): steady-state PCG
+  // iteration allocations measured by one extra untraced solve under the
+  // allocation auditor. All zero when hooks are not compiled.
+  std::uint64_t steady_iterations = 0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steady_violations = 0;
 };
 
 ConfigRun run_config(const std::string& config, const GeneratedMatrix& gm,
@@ -65,6 +72,28 @@ ConfigRun run_config(const std::string& config, const GeneratedMatrix& gm,
   }
   const std::vector<TraceEvent> events = global_trace().drain();
   out.phases = aggregate_phases(events);
+
+  // Allocation probe: one untraced, history-free solve — tracing allocates
+  // by design, so it must be off for the steady-state claim to be
+  // measurable. Tracing is restored for the next configuration.
+  if (analysis::alloc_audit_compiled()) {
+    global_trace().set_enabled(false);
+    SpcgOptions probe_opt = opt;
+    probe_opt.pcg.trace_every = 0;
+    probe_opt.pcg.record_history = false;
+    analysis::AllocAudit::instance().reset();
+    analysis::AllocAudit::instance().set_enabled(true);
+    (void)spcg_solve(gm.a, gm.b, probe_opt);
+    analysis::AllocAudit::instance().set_enabled(false);
+    for (const analysis::PhaseAllocStats& s :
+         analysis::AllocAudit::instance().snapshot()) {
+      if (s.phase != "pcg.iteration") continue;
+      out.steady_iterations = s.steady_scopes;
+      out.steady_allocs = s.steady_allocs;
+      out.steady_violations = s.steady_violations;
+    }
+    global_trace().set_enabled(true);
+  }
   return out;
 }
 
@@ -74,6 +103,8 @@ std::string to_json(const std::vector<ConfigRun>& runs, int repeat) {
   os << "{\n"
      << "  \"schema\": \"spcg-regress-v1\",\n"
      << "  \"repeat\": " << repeat << ",\n"
+     << "  \"alloc_audit_compiled\": "
+     << (analysis::alloc_audit_compiled() ? "true" : "false") << ",\n"
      << "  \"suite_checksum\": \"" << std::hex << suite_checksum() << std::dec
      << "\",\n"
      << "  \"runs\": [";
@@ -90,6 +121,9 @@ std::string to_json(const std::vector<ConfigRun>& runs, int repeat) {
        << "      \"final_residual\": " << r.final_residual << ",\n"
        << "      \"setup_seconds\": " << r.setup_seconds << ",\n"
        << "      \"solve_seconds\": " << r.solve_seconds << ",\n"
+       << "      \"steady_iterations\": " << r.steady_iterations << ",\n"
+       << "      \"steady_allocs\": " << r.steady_allocs << ",\n"
+       << "      \"steady_violations\": " << r.steady_violations << ",\n"
        << "      \"phases\": [";
     bool first_phase = true;
     for (const PhaseTotal& p : r.phases) {

@@ -1,10 +1,10 @@
 // spcg-lint: structural linter CLI for SPCG inputs and factors.
 //
 // Usage:
-//   spcg-lint <matrix.mtx> [options]
-//   spcg-lint --suite <id> [options]
+//   spcg-lint <matrix.mtx> [<matrix.mtx>...] [options]
+//   spcg-lint --suite <id> [--suite <id>...] [options]
 //   spcg-lint --suite-all [options]
-//   spcg-lint --rules
+//   spcg-lint --list-rules
 //
 // Options:
 //   --factor ilu0|iluk|ilut  factorize and lint the factor, its L/U split,
@@ -12,12 +12,22 @@
 //   --k K                    fill level for --factor iluk (default 1)
 //   --race                   also run the instrumented race-detecting
 //                            executor over both schedules
+//   --rules <csv>            only count/print findings whose rule id matches
+//                            one of the comma-separated ids or prefixes
+//                            (e.g. --rules csr.,schedule.race); everything
+//                            else is discarded and does not affect the exit
+//                            code
 //   --strict                 treat warnings as errors for the exit code
 //   --sym-tol T              numeric symmetry tolerance (default 1e-10*|A|)
 //   --max-diags N            findings printed per rule (default 8, 0 = all)
 //   --quiet                  print only the summary line per object
 //
-// Exit codes: 0 = clean, 1 = lint errors found, 2 = usage or I/O error.
+// Exit-code contract (stable; CI and corpus scripts rely on it):
+//   0  every input clean — no errors (and no warnings under --strict)
+//      after the --rules filter
+//   1  at least one lint error across the inputs (or a warning with
+//      --strict); all inputs are always processed before exiting
+//   2  usage error, unreadable/unparsable input, or factorization failure
 #include <iostream>
 #include <string>
 #include <vector>
@@ -36,32 +46,54 @@ namespace {
 using namespace spcg;
 
 struct Options {
-  std::string path;            // .mtx input (mutually exclusive with suite)
-  index_t suite_id = -1;       // --suite
-  bool suite_all = false;      // --suite-all
-  std::string factor;          // "", "ilu0", "iluk", "ilut"
+  std::vector<std::string> paths;     // .mtx inputs
+  std::vector<index_t> suite_ids;     // --suite (repeatable)
+  bool suite_all = false;             // --suite-all
+  std::string factor;                 // "", "ilu0", "iluk", "ilut"
   index_t k = 1;
   bool race = false;
   bool strict = false;
   bool quiet = false;
   double sym_tol = -1.0;  // <0: derive from |A|
   std::size_t max_diags = 8;
+  std::vector<std::string> rule_filter;  // empty = keep everything
 };
 
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " (<matrix.mtx> | --suite <id> | --suite-all | --rules)\n"
+            << " (<matrix.mtx>... | --suite <id>... | --suite-all |"
+               " --list-rules)\n"
                "  [--factor ilu0|iluk|ilut] [--k K] [--race] [--strict]\n"
-               "  [--sym-tol T] [--max-diags N] [--quiet]\n";
+               "  [--rules id[,id...]] [--sym-tol T] [--max-diags N]"
+               " [--quiet]\n";
+}
+
+/// Keep only findings whose rule id matches a filter entry exactly or by
+/// prefix (so "csr." selects the whole family). Empty filter keeps all.
+analysis::Diagnostics filter_rules(const analysis::Diagnostics& d,
+                                   const std::vector<std::string>& filters) {
+  if (filters.empty()) return d;
+  analysis::Diagnostics out;
+  for (const analysis::Diagnostic& item : d.items()) {
+    for (const std::string& f : filters) {
+      if (item.rule.compare(0, f.size(), f) == 0) {
+        out.add(item);
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 /// Print a report (honoring --quiet) and fold it into the running tally.
 class Tally {
  public:
-  Tally(bool strict, bool quiet, std::size_t max_diags)
-      : strict_(strict), quiet_(quiet), max_diags_(max_diags) {}
+  explicit Tally(const Options& opt)
+      : strict_(opt.strict), quiet_(opt.quiet), max_diags_(opt.max_diags),
+        filter_(opt.rule_filter) {}
 
-  void take(const std::string& what, const analysis::Diagnostics& d) {
+  void take(const std::string& what, const analysis::Diagnostics& raw) {
+    const analysis::Diagnostics d = filter_rules(raw, filter_);
     errors_ += d.count(analysis::Severity::kError);
     warnings_ += d.count(analysis::Severity::kWarning);
     if (!quiet_ && !d.empty()) std::cout << d.to_string(max_diags_);
@@ -80,6 +112,7 @@ class Tally {
   bool strict_;
   bool quiet_;
   std::size_t max_diags_;
+  std::vector<std::string> filter_;
   std::size_t errors_ = 0;
   std::size_t warnings_ = 0;
 };
@@ -149,6 +182,19 @@ void lint_one(const Csr<double>& a, const std::string& name,
   if (!opt.factor.empty()) lint_factor(a, opt, tally);
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,12 +208,15 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--rules") {
+    if (arg == "--list-rules") {
       for (const analysis::RuleInfo& r : analysis::rule_catalog())
         std::cout << r.id << "\t" << r.description << "\n";
       return 0;
+    } else if (arg == "--rules") {
+      for (std::string& f : split_csv(next()))
+        opt.rule_filter.push_back(std::move(f));
     } else if (arg == "--suite") {
-      opt.suite_id = static_cast<index_t>(std::atoi(next()));
+      opt.suite_ids.push_back(static_cast<index_t>(std::atoi(next())));
     } else if (arg == "--suite-all") {
       opt.suite_all = true;
     } else if (arg == "--factor") {
@@ -187,32 +236,32 @@ int main(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
       return 2;
-    } else if (opt.path.empty()) {
-      opt.path = arg;
     } else {
-      usage(argv[0]);
-      return 2;
+      opt.paths.push_back(arg);
     }
   }
-  const int sources = (opt.path.empty() ? 0 : 1) +
-                      (opt.suite_id >= 0 ? 1 : 0) + (opt.suite_all ? 1 : 0);
+  const int sources = (opt.paths.empty() ? 0 : 1) +
+                      (opt.suite_ids.empty() ? 0 : 1) + (opt.suite_all ? 1 : 0);
   if (sources != 1) {
     usage(argv[0]);
     return 2;
   }
 
-  Tally tally(opt.strict, opt.quiet, opt.max_diags);
+  Tally tally(opt);
   try {
     if (opt.suite_all) {
       for (index_t id = 0; id < suite_size(); ++id) {
         const GeneratedMatrix g = generate_suite_matrix(id);
         lint_one(g.a, g.spec.name, opt, tally);
       }
-    } else if (opt.suite_id >= 0) {
-      const GeneratedMatrix g = generate_suite_matrix(opt.suite_id);
-      lint_one(g.a, g.spec.name, opt, tally);
+    } else if (!opt.suite_ids.empty()) {
+      for (const index_t id : opt.suite_ids) {
+        const GeneratedMatrix g = generate_suite_matrix(id);
+        lint_one(g.a, g.spec.name, opt, tally);
+      }
     } else {
-      lint_one(read_matrix_market(opt.path), opt.path, opt, tally);
+      for (const std::string& path : opt.paths)
+        lint_one(read_matrix_market(path), path, opt, tally);
     }
   } catch (const spcg::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

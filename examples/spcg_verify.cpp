@@ -1,0 +1,316 @@
+// spcg-verify: pipeline invariant verifier CLI (analysis/verify.h).
+//
+// Runs the end-to-end artifact verifier over matrices (Matrix Market files
+// or generator-suite entries): sparsification split + drop-ratio bounds,
+// ILU factor health + level-K fill closure, triangular split, both level
+// schedules, NaN/Inf taint — and, per requested part count, the
+// distributed-layer invariants (partition coverage, halo completeness,
+// gather-edge soundness, rank-order reduction determinism). With --audit it
+// additionally solves each system under the hot-path allocation auditor and
+// fails on any steady-state iteration that touched the heap.
+//
+// Usage:
+//   spcg-verify <matrix.mtx>... [options]
+//   spcg-verify --suite <id>... [options]
+//   spcg-verify --suite-all [options]
+//
+// Options:
+//   --factor ilu0|iluk   preconditioner whose artifacts are verified
+//                        (default ilu0)
+//   --fill K             fill level for --factor iluk (default 2)
+//   --no-sparsify        verify the non-sparsified baseline setup
+//   --min-drop R         drop-ratio lower bound, fraction of nnz(A) (default 0)
+//   --max-drop R         drop-ratio upper bound (default 0.5)
+//   --parts P            also verify the dist layer for P parts (repeatable)
+//   --bfs                partition with the BFS-greedy strategy
+//   --max-ulps N         reduction-determinism bound for parts > 1
+//                        (default 4096; parts == 1 must match bitwise)
+//   --audit              solve each input under the allocation auditor;
+//                        steady-state iteration allocations become
+//                        alloc.steady-state errors (hooks require a build
+//                        with -DSPCG_ALLOC_AUDIT=ON)
+//   --max-iters N        iteration cap for --audit solves (default 50)
+//   --json FILE          machine-readable diagnostics artifact (spcg-verify-v1)
+//   --strict             treat warnings as errors for the exit code
+//   --max-diags N        findings printed per rule (default 8, 0 = all)
+//   --quiet              print only the summary line per object
+//
+// Exit-code contract:
+//   0  every invariant holds on every input
+//   1  diagnostics errors (or warnings under --strict), including
+//      steady-state allocations under --audit
+//   2  usage error, unreadable input, or setup failure
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/verify.h"
+#include "gen/suite.h"
+#include "runtime/session.h"
+#include "sparse/io.h"
+#include "support/expo.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace spcg;
+
+struct Options {
+  std::vector<std::string> paths;
+  std::vector<index_t> suite_ids;
+  bool suite_all = false;
+  std::string factor = "ilu0";
+  index_t fill = 2;
+  bool sparsify = true;
+  double min_drop = 0.0;
+  double max_drop = 0.5;
+  std::vector<index_t> parts;
+  bool bfs = false;
+  std::uint64_t max_ulps = 4096;
+  bool audit = false;
+  std::int32_t max_iters = 50;
+  std::string json_path;
+  bool strict = false;
+  bool quiet = false;
+  std::size_t max_diags = 8;
+};
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " (<matrix.mtx>... | --suite <id>... | --suite-all)\n"
+         "  [--factor ilu0|iluk] [--fill K] [--no-sparsify]\n"
+         "  [--min-drop R] [--max-drop R] [--parts P]... [--bfs]\n"
+         "  [--max-ulps N] [--audit] [--max-iters N] [--json FILE]\n"
+         "  [--strict] [--max-diags N] [--quiet]\n";
+}
+
+struct Tally {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+
+  void take(const std::string& what, const analysis::Diagnostics& d,
+            const Options& opt) {
+    errors += d.count(analysis::Severity::kError);
+    warnings += d.count(analysis::Severity::kWarning);
+    if (!opt.quiet && !d.empty()) std::cout << d.to_string(opt.max_diags);
+    std::cout << what << ": " << d.count(analysis::Severity::kError)
+              << " error(s), " << d.count(analysis::Severity::kWarning)
+              << " warning(s)\n";
+  }
+
+  [[nodiscard]] int exit_code(bool strict) const {
+    if (errors > 0) return 1;
+    if (strict && warnings > 0) return 1;
+    return 0;
+  }
+};
+
+SpcgOptions make_spcg_options(const Options& opt) {
+  SpcgOptions sopt;
+  sopt.sparsify_enabled = opt.sparsify;
+  sopt.preconditioner =
+      opt.factor == "iluk" ? PrecondKind::kIluK : PrecondKind::kIlu0;
+  sopt.fill_level = opt.fill;
+  sopt.pcg.max_iterations = opt.max_iters;
+  return sopt;
+}
+
+analysis::VerifyOptions make_verify_options(const Options& opt) {
+  analysis::VerifyOptions vopt;
+  vopt.min_drop_ratio = opt.min_drop;
+  vopt.max_drop_ratio = opt.max_drop;
+  vopt.reduce_max_ulps = opt.max_ulps;
+  vopt.max_per_rule = opt.max_diags;
+  return vopt;
+}
+
+/// Verify one input end to end; returns every finding merged (for --json).
+analysis::Diagnostics verify_one(const Csr<double>& a,
+                                 const std::vector<double>& b,
+                                 const std::string& name, const Options& opt,
+                                 Tally& tally) {
+  analysis::Diagnostics all;
+  const SpcgOptions sopt = make_spcg_options(opt);
+  const analysis::VerifyOptions vopt = make_verify_options(opt);
+
+  const SpcgSetup<double> setup = spcg_setup(a, sopt);
+  {
+    const analysis::Diagnostics d = analysis::verify_setup(a, setup, sopt, vopt);
+    tally.take(name + ": setup", d, opt);
+    all.merge(d);
+  }
+  {
+    const analysis::Diagnostics d =
+        analysis::taint_scan(std::span<const double>(b), "b", opt.max_diags);
+    tally.take(name + ": taint(b)", d, opt);
+    all.merge(d);
+  }
+
+  for (const index_t parts : opt.parts) {
+    if (parts < 1 || parts > a.rows) {
+      std::cout << name << ": dist(P=" << parts
+                << "): skipped (parts out of range for " << a.rows
+                << " rows)\n";
+      continue;
+    }
+    PartitionOptions popt;
+    if (opt.bfs) popt.strategy = PartitionOptions::Strategy::kBfsGreedy;
+    const Partition p = make_partition(a, parts, popt);
+    const std::vector<LocalSystem<double>> locals = build_local_systems(a, p);
+    analysis::Diagnostics d = analysis::verify_local_systems(a, p, locals, vopt);
+    d.merge(analysis::verify_reduction_determinism(
+        p, std::span<const double>(b), opt.max_ulps, opt.max_diags));
+    tally.take(name + ": dist(P=" + std::to_string(parts) + ")", d, opt);
+    all.merge(d);
+  }
+
+  if (opt.audit) {
+    // Measure a real solve through the runtime session. Tracing and history
+    // are off, so steady-state iterations are expected allocation-free;
+    // violations surface as alloc.steady-state errors below.
+    analysis::AllocAudit::instance().reset();
+    analysis::AllocAudit::instance().set_enabled(true);
+    const SolverSession<double> session(a, sopt);
+    const SessionSolveResult<double> r = session.solve(b);
+    analysis::AllocAudit::instance().set_enabled(false);
+    analysis::Diagnostics d = analysis::alloc_audit_diagnostics(opt.max_diags);
+    d.merge(analysis::taint_scan(std::span<const double>(r.solve.x), "x",
+                                 opt.max_diags));
+    tally.take(name + ": audit [" + std::to_string(r.solve.iterations) +
+                   " iteration(s)]",
+               d, opt);
+    all.merge(d);
+  }
+  return all;
+}
+
+std::vector<double> rhs_for(const Csr<double>& a) {
+  std::vector<double> b(static_cast<std::size_t>(a.rows));
+  Rng rng(12345);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  return b;
+}
+
+void write_json(const std::string& path,
+                const std::vector<std::pair<std::string,
+                                            analysis::Diagnostics>>& reports) {
+  std::ostringstream os;
+  os << "{\"schema\":\"spcg-verify-v1\",\"alloc_audit_compiled\":"
+     << (analysis::alloc_audit_compiled() ? "true" : "false") << ",\"inputs\":[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"name\":" << json_quote(reports[i].first)
+       << ",\"errors\":" << reports[i].second.count(analysis::Severity::kError)
+       << ",\"warnings\":"
+       << reports[i].second.count(analysis::Severity::kWarning)
+       << ",\"diagnostics\":"
+       << analysis::diagnostics_to_json(reports[i].second) << "}";
+  }
+  os << "]}";
+  const std::string text = os.str();
+  if (!is_valid_json(text)) throw Error("internal: invalid JSON artifact");
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write " + path);
+  out << text << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--suite") {
+      opt.suite_ids.push_back(static_cast<index_t>(std::atoi(next())));
+    } else if (arg == "--suite-all") {
+      opt.suite_all = true;
+    } else if (arg == "--factor") {
+      opt.factor = next();
+    } else if (arg == "--fill") {
+      opt.fill = static_cast<index_t>(std::atoi(next()));
+    } else if (arg == "--no-sparsify") {
+      opt.sparsify = false;
+    } else if (arg == "--min-drop") {
+      opt.min_drop = std::atof(next());
+    } else if (arg == "--max-drop") {
+      opt.max_drop = std::atof(next());
+    } else if (arg == "--parts") {
+      opt.parts.push_back(static_cast<index_t>(std::atoi(next())));
+    } else if (arg == "--bfs") {
+      opt.bfs = true;
+    } else if (arg == "--max-ulps") {
+      opt.max_ulps = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--audit") {
+      opt.audit = true;
+    } else if (arg == "--max-iters") {
+      opt.max_iters = static_cast<std::int32_t>(std::atoi(next()));
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else if (arg == "--strict") {
+      opt.strict = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--max-diags") {
+      opt.max_diags = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+  if (opt.factor != "ilu0" && opt.factor != "iluk") {
+    usage(argv[0]);
+    return 2;
+  }
+  const int sources = (opt.paths.empty() ? 0 : 1) +
+                      (opt.suite_ids.empty() ? 0 : 1) + (opt.suite_all ? 1 : 0);
+  if (sources != 1) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (opt.audit && !analysis::alloc_audit_compiled())
+    std::cout << "note: allocation hooks not compiled; --audit reports no "
+                 "counts (build with -DSPCG_ALLOC_AUDIT=ON)\n";
+
+  Tally tally;
+  std::vector<std::pair<std::string, analysis::Diagnostics>> reports;
+  try {
+    auto run = [&](const Csr<double>& a, const std::vector<double>& b,
+                   const std::string& name) {
+      reports.emplace_back(name, verify_one(a, b, name, opt, tally));
+    };
+    if (opt.suite_all) {
+      for (index_t id = 0; id < suite_size(); ++id) {
+        const GeneratedMatrix g = generate_suite_matrix(id);
+        run(g.a, g.b, g.spec.name);
+      }
+    } else if (!opt.suite_ids.empty()) {
+      for (const index_t id : opt.suite_ids) {
+        const GeneratedMatrix g = generate_suite_matrix(id);
+        run(g.a, g.b, g.spec.name);
+      }
+    } else {
+      for (const std::string& path : opt.paths) {
+        const Csr<double> a = read_matrix_market(path);
+        run(a, rhs_for(a), path);
+      }
+    }
+    if (!opt.json_path.empty()) write_json(opt.json_path, reports);
+  } catch (const spcg::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "total: " << tally.errors << " error(s), " << tally.warnings
+            << " warning(s) across " << reports.size() << " input(s)\n";
+  return tally.exit_code(opt.strict);
+}

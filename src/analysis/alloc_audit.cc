@@ -1,0 +1,220 @@
+#include "analysis/alloc_audit.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+
+namespace spcg::analysis {
+namespace {
+
+// Per-thread counters. Trivially constructible and destructible on purpose:
+// the hooks may run before this TU's dynamic initializers and after TLS
+// destructors have started tearing other objects down, so the counters must
+// need neither construction nor destruction to be safe to touch.
+struct ThreadCounters {
+  std::uint64_t allocs;
+  std::uint64_t deallocs;
+  std::uint64_t bytes;
+};
+thread_local ThreadCounters t_counters;  // zero-initialized
+
+}  // namespace
+
+AllocCounts alloc_counts_this_thread() noexcept {
+  return {t_counters.allocs, t_counters.deallocs, t_counters.bytes};
+}
+
+// --- registry ---------------------------------------------------------------
+
+struct AllocAudit::Impl {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> violations{0};
+  mutable std::mutex mu;
+  // Heterogeneous lookup so steady-path record() calls on an existing phase
+  // build no std::string temporary (and therefore allocate nothing).
+  std::map<std::string, PhaseAllocStats, std::less<>> phases;
+};
+
+AllocAudit::Impl& AllocAudit::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+AllocAudit& AllocAudit::instance() {
+  static AllocAudit audit;
+  return audit;
+}
+
+bool AllocAudit::enabled() const noexcept {
+  return impl().enabled.load(std::memory_order_relaxed);
+}
+
+void AllocAudit::set_enabled(bool on) noexcept {
+  impl().enabled.store(on, std::memory_order_relaxed);
+}
+
+void AllocAudit::record(const char* phase, const AllocCounts& delta,
+                        bool steady) {
+  Impl& im = impl();
+  const std::uint64_t allocs = delta.allocs;
+  const bool violation = steady && allocs > 0;
+  if (violation) im.violations.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.phases.find(std::string_view(phase));
+  if (it == im.phases.end()) {
+    it = im.phases.emplace(phase, PhaseAllocStats{}).first;
+    it->second.phase = phase;
+  }
+  PhaseAllocStats& s = it->second;
+  ++s.scopes;
+  s.allocs += allocs;
+  s.bytes += delta.bytes;
+  if (steady) {
+    ++s.steady_scopes;
+    s.steady_allocs += allocs;
+    if (violation) ++s.steady_violations;
+  }
+}
+
+std::vector<PhaseAllocStats> AllocAudit::snapshot() const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<PhaseAllocStats> out;
+  out.reserve(im.phases.size());
+  for (const auto& [name, stats] : im.phases) out.push_back(stats);
+  return out;
+}
+
+std::uint64_t AllocAudit::steady_violations() const noexcept {
+  return impl().violations.load(std::memory_order_relaxed);
+}
+
+void AllocAudit::reset() {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  im.phases.clear();
+  im.violations.store(0, std::memory_order_relaxed);
+}
+
+void append_alloc_counters(std::vector<CounterSample>& out) {
+  if (!alloc_audit_compiled()) return;
+  for (const PhaseAllocStats& s : AllocAudit::instance().snapshot()) {
+    out.push_back({"alloc." + s.phase + ".allocs", s.allocs});
+    out.push_back({"alloc." + s.phase + ".bytes", s.bytes});
+    out.push_back(
+        {"alloc." + s.phase + ".steady_violations", s.steady_violations});
+  }
+}
+
+// --- scope ------------------------------------------------------------------
+
+AllocAuditScope::AllocAuditScope(const char* phase,
+                                 bool steady_state) noexcept
+    : phase_(phase),
+      steady_(steady_state),
+      active_(AllocAudit::instance().enabled()) {
+  if (active_) start_ = alloc_counts_this_thread();
+}
+
+AllocCounts AllocAuditScope::delta() const noexcept {
+  if (!active_) return {};
+  const AllocCounts now = alloc_counts_this_thread();
+  return {now.allocs - start_.allocs, now.deallocs - start_.deallocs,
+          now.bytes - start_.bytes};
+}
+
+AllocAuditScope::~AllocAuditScope() {
+  if (!active_) return;
+  // The delta is computed before record() runs, so the registry's own
+  // bookkeeping allocations (first-phase map insertion) are never counted
+  // against the scope. Swallow bad_alloc rather than terminate: the audit
+  // is observability, not control flow.
+  try {
+    AllocAudit::instance().record(phase_, delta(), steady_);
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+}  // namespace spcg::analysis
+
+// --- global operator new/delete hooks ---------------------------------------
+//
+// Compiled only under SPCG_ALLOC_AUDIT. Replacing these in a static library
+// works because this TU is always pulled in: the AllocAudit registry above
+// is referenced by the probes wired into the solver and runtime layers.
+
+#ifdef SPCG_ALLOC_AUDIT
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  // malloc(0) may return nullptr; operator new must not.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  ++spcg::analysis::t_counters.allocs;
+  spcg::analysis::t_counters.bytes += size;
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::align_val_t align) {
+  const auto a = static_cast<std::size_t>(align);
+  void* p = std::aligned_alloc(a, (size + a - 1) / a * a);
+  if (p == nullptr) throw std::bad_alloc();
+  ++spcg::analysis::t_counters.allocs;
+  spcg::analysis::t_counters.bytes += size;
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  ++spcg::analysis::t_counters.deallocs;
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+#endif  // SPCG_ALLOC_AUDIT

@@ -68,6 +68,17 @@ inline constexpr const char* kRuleScheduleTopology = "schedule.topology";
 inline constexpr const char* kRuleScheduleRace = "schedule.race";
 inline constexpr const char* kRuleRaceOverlap = "race.overlap";
 inline constexpr const char* kRuleRaceStale = "race.stale-read";
+// Verifier rules (emitted by verify.h/.cc, listed here for the catalog):
+inline constexpr const char* kRuleVerifySetup = "verify.setup.artifacts";
+inline constexpr const char* kRuleVerifyClosure = "verify.ilu.closure";
+inline constexpr const char* kRuleVerifyDropRatio = "verify.sparsify.ratio";
+inline constexpr const char* kRuleTaintNonFinite = "taint.nonfinite";
+inline constexpr const char* kRuleDistPartition = "dist.partition.coverage";
+inline constexpr const char* kRuleDistHaloComplete = "dist.halo.complete";
+inline constexpr const char* kRuleDistHaloGather = "dist.halo.gather";
+inline constexpr const char* kRuleDistLocalSplit = "dist.local.split";
+inline constexpr const char* kRuleDistReduce = "dist.reduce.determinism";
+inline constexpr const char* kRuleAllocSteadyState = "alloc.steady-state";
 
 /// One catalog entry: rule id + one-line description (for spcg-lint --rules).
 struct RuleInfo {

@@ -1,0 +1,200 @@
+#include "analysis/verify.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "support/expo.h"
+
+namespace spcg::analysis {
+
+std::uint64_t ulp_distance(double x, double y) {
+  if (std::isnan(x) || std::isnan(y))
+    return std::numeric_limits<std::uint64_t>::max();
+  const auto bx = std::bit_cast<std::uint64_t>(x);
+  const auto by = std::bit_cast<std::uint64_t>(y);
+  if (bx == by) return 0;  // covers +0 == +0 and -0 == -0
+  if (x == 0.0 && y == 0.0) return 0;  // -0 vs +0
+  if ((x < 0.0) != (y < 0.0))
+    return std::numeric_limits<std::uint64_t>::max();
+  return bx > by ? bx - by : by - bx;
+}
+
+Diagnostics verify_partition(const Partition& p, std::size_t max_per_rule) {
+  Diagnostics out;
+  detail::Reporter rep(out, "partition", max_per_rule);
+  if (p.parts < 1) {
+    rep.error(kRuleDistPartition, "parts = " + detail::fmt(p.parts));
+    return out;
+  }
+  if (static_cast<index_t>(p.owned.size()) != p.parts ||
+      static_cast<index_t>(p.part_of.size()) != p.global_rows) {
+    rep.error(kRuleDistPartition,
+              "owned lists " + detail::fmt(p.owned.size()) + " for " +
+                  detail::fmt(p.parts) + " parts, part_of size " +
+                  detail::fmt(p.part_of.size()) + " for " +
+                  detail::fmt(p.global_rows) + " rows");
+    return out;
+  }
+  std::vector<char> seen(static_cast<std::size_t>(p.global_rows), 0);
+  for (index_t r = 0; r < p.parts; ++r) {
+    index_t prev = -1;
+    for (const index_t g : p.owned[static_cast<std::size_t>(r)]) {
+      if (g < 0 || g >= p.global_rows) {
+        rep.error(kRuleDistPartition,
+                  "part " + detail::fmt(r) + " owns out-of-range row " +
+                      detail::fmt(g));
+        continue;
+      }
+      if (g <= prev)
+        rep.error(kRuleDistPartition,
+                  "owned list of part " + detail::fmt(r) +
+                      " not strictly ascending at row " + detail::fmt(g),
+                  g);
+      if (seen[static_cast<std::size_t>(g)])
+        rep.error(kRuleDistPartition,
+                  "row " + detail::fmt(g) + " owned twice", g);
+      if (p.part_of[static_cast<std::size_t>(g)] != r)
+        rep.error(kRuleDistPartition,
+                  "part_of[" + detail::fmt(g) + "] = " +
+                      detail::fmt(p.part_of[static_cast<std::size_t>(g)]) +
+                      " but part " + detail::fmt(r) + " owns the row",
+                  g);
+      seen[static_cast<std::size_t>(g)] = 1;
+      prev = g;
+    }
+  }
+  for (index_t g = 0; g < p.global_rows; ++g) {
+    if (!seen[static_cast<std::size_t>(g)])
+      rep.error(kRuleDistPartition, "row " + detail::fmt(g) + " unowned", g);
+  }
+  return out;
+}
+
+Diagnostics verify_reduction_determinism(const Partition& p,
+                                         std::span<const double> contributions,
+                                         std::uint64_t max_ulps,
+                                         std::size_t max_per_rule) {
+  Diagnostics out = verify_partition(p, max_per_rule);
+  if (!out.ok()) return out;  // the simulation indexes through owned lists
+  detail::Reporter rep(out, "reduce", max_per_rule);
+  if (contributions.size() != static_cast<std::size_t>(p.global_rows)) {
+    rep.error(kRuleDistReduce,
+              "contribution vector size " +
+                  detail::fmt(contributions.size()) + " vs " +
+                  detail::fmt(p.global_rows) + " rows");
+    return out;
+  }
+
+  // Serial reference: one ascending-global sweep. Σ|cᵢ| sets the magnitude
+  // scale for the tolerance below — for near-cancelling sums the result is
+  // many ULPs of *itself* away from any reassociation, so measuring the gap
+  // in ULPs of the result would flag benign schedules (classic summation
+  // error analysis: |S_blocked − S_serial| ≲ n·eps·Σ|cᵢ|, not n·eps·|S|).
+  double serial = 0.0;
+  double sum_abs = 0.0;
+  for (const double c : contributions) {
+    serial += c;
+    sum_abs += std::abs(c);
+  }
+
+  // The comm-layer schedule: per-part partials in local (ascending-global)
+  // order, folded in ascending rank order — run twice to catch any
+  // non-reproducibility in the schedule itself.
+  auto simulate = [&] {
+    double total = 0.0;
+    for (index_t r = 0; r < p.parts; ++r) {
+      double partial = 0.0;
+      for (const index_t g : p.owned[static_cast<std::size_t>(r)])
+        partial += contributions[static_cast<std::size_t>(g)];
+      total += partial;
+    }
+    return total;
+  };
+  const double first = simulate();
+  const double second = simulate();
+  if (std::bit_cast<std::uint64_t>(first) !=
+      std::bit_cast<std::uint64_t>(second)) {
+    rep.error(kRuleDistReduce,
+              "rank-order reduction is not bitwise reproducible");
+    return out;
+  }
+
+  if (p.parts == 1) {
+    // One part owns every row in ascending order, so the fold *is* the
+    // serial sum; anything else means the schedule reordered terms.
+    if (std::bit_cast<std::uint64_t>(first) !=
+        std::bit_cast<std::uint64_t>(serial))
+      rep.error(kRuleDistReduce,
+                "parts == 1 reduction differs from the serial sum (" +
+                    detail::fmt(first) + " vs " + detail::fmt(serial) + ")");
+    return out;
+  }
+  // Tolerance: max_ulps ULPs *at the magnitude of Σ|cᵢ|*, so a cancelling
+  // sum (|S| ≪ Σ|cᵢ|) is judged against the data it actually summed.
+  const double ulp_at_scale =
+      std::nextafter(sum_abs, std::numeric_limits<double>::infinity()) -
+      sum_abs;
+  const double gap = std::abs(first - serial);
+  const double tol = static_cast<double>(max_ulps) * ulp_at_scale;
+  if (!(gap <= tol)) {  // NaN gap must fail too
+    rep.error(kRuleDistReduce,
+              "rank-order sum " + detail::fmt(first) + " is " +
+                  detail::fmt(gap) + " from the serial sum " +
+                  detail::fmt(serial) + ", exceeding " + detail::fmt(max_ulps) +
+                  " ULPs at the summand magnitude " + detail::fmt(sum_abs));
+  } else {
+    rep.info(kRuleDistReduce,
+             "rank-order sum within " + detail::fmt(gap) + " of the serial "
+             "sum (bound " + detail::fmt(max_ulps) + " ULPs at magnitude " +
+                 detail::fmt(sum_abs) + ")");
+  }
+  return out;
+}
+
+Diagnostics alloc_audit_diagnostics(std::size_t max_per_rule) {
+  Diagnostics out;
+  detail::Reporter rep(out, "alloc", max_per_rule);
+  if (!alloc_audit_compiled()) {
+    rep.info(kRuleAllocSteadyState,
+             "allocation hooks not compiled (build with -DSPCG_ALLOC_AUDIT=ON"
+             " to measure)");
+    return out;
+  }
+  for (const PhaseAllocStats& s : AllocAudit::instance().snapshot()) {
+    if (s.steady_violations > 0)
+      rep.error(kRuleAllocSteadyState,
+                "phase " + s.phase + ": " +
+                    detail::fmt(s.steady_violations) + " of " +
+                    detail::fmt(s.steady_scopes) +
+                    " steady-state scope(s) allocated (" +
+                    detail::fmt(s.steady_allocs) + " allocation(s) total)");
+    else
+      rep.info(kRuleAllocSteadyState,
+               "phase " + s.phase + ": " + detail::fmt(s.allocs) +
+                   " allocation(s) / " + detail::fmt(s.bytes) + " byte(s) in " +
+                   detail::fmt(s.scopes) + " scope(s), steady-state clean");
+  }
+  return out;
+}
+
+std::string diagnostics_to_json(const Diagnostics& d) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const Diagnostic& item : d.items()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"severity\":" << json_quote(to_string(item.severity))
+       << ",\"rule\":" << json_quote(item.rule)
+       << ",\"object\":" << json_quote(item.object)
+       << ",\"row\":" << item.row << ",\"col\":" << item.col
+       << ",\"message\":" << json_quote(item.message) << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace spcg::analysis

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/alloc_audit.h"
 #include "precond/ilu.h"
 #include "solver/pcg.h"
 #include "sparse/csr.h"
@@ -143,6 +144,11 @@ std::vector<SolveResult<T>> pcg_batched(const Csr<T>& a,
   std::vector<T*> out_ptrs;
   std::int32_t k = 0;
   for (; k < opt.max_iterations && !active.empty(); ++k) {
+    // Allocation probe (see pcg()): after the first iteration the pointer
+    // batches and per-column vectors are warm, so a steady-state batched
+    // iteration must not allocate either (history recording excepted).
+    const analysis::AllocAuditScope alloc_scope("batch.iteration",
+                                                /*steady_state=*/k > 0);
     // Top-of-loop convergence test (pcg() line order preserved).
     iterating.clear();
     for (const std::size_t c : active) {

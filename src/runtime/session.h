@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/verify.h"
 #include "core/spcg.h"
 #include "precond/preconditioner.h"
 #include "runtime/batch.h"
@@ -84,6 +85,20 @@ class SolverSession {
   /// or when the session has no cache).
   [[nodiscard]] bool setup_cache_hit() const { return cache_hit_; }
 
+  /// Debug verification knob: verifies the shared setup artifacts end to
+  /// end immediately (throwing spcg::Error with the report when any
+  /// invariant fails) and arms a NaN/Inf taint scan over b and x around
+  /// every subsequent solve()/solve_batch(). A solve-phase option — it does
+  /// not participate in the setup-cache key.
+  void enable_verify(analysis::VerifyOptions vopt = {}) {
+    const analysis::Diagnostics d =
+        analysis::verify_setup(*a_, setup_->artifacts, opt_, vopt);
+    if (!d.ok())
+      throw Error("setup verification failed:\n" + d.to_string(8));
+    verify_ = std::move(vopt);
+  }
+  [[nodiscard]] bool verify_enabled() const { return verify_.has_value(); }
+
   /// Solve A x = b with the cached setup. Safe to call concurrently.
   SessionSolveResult<T> solve(std::span<const T> b) const {
     SessionSolveResult<T> out;
@@ -91,10 +106,13 @@ class SolverSession {
     // Covers the applier construction (per-solve scratch) plus the nested
     // pcg span, so request timelines have no untraced gap before iterating.
     Span span("session.solve", "runtime");
+    const analysis::AllocAuditScope alloc_scope("session.solve");
+    taint_check(b, "b");
     const IluApplier<T> m(setup_->artifacts.factors,
                           setup_->artifacts.l_schedule,
                           setup_->artifacts.u_schedule, opt_.executor);
     out.solve = pcg(*a_, b, m, opt_.pcg);
+    taint_check(std::span<const T>(out.solve.x), "x");
     out.solve_seconds = timer.seconds();
     return out;
   }
@@ -118,10 +136,15 @@ class SolverSession {
                        opt_.executor != TrsvExec::kLevelScheduledChecked;
     if (fused) {
       WallTimer timer;
+      const analysis::AllocAuditScope alloc_scope("session.batch");
+      for (const std::vector<T>& b : bs)
+        taint_check(std::span<const T>(b), "b");
       std::vector<SolveResult<T>> solved =
           pcg_batched(*a_, bs, setup_->artifacts.factors,
                       setup_->artifacts.l_schedule,
                       setup_->artifacts.u_schedule, opt_.pcg);
+      for (const SolveResult<T>& s : solved)
+        taint_check(std::span<const T>(s.x), "x");
       const double elapsed = timer.seconds();
       for (std::size_t c = 0; c < bs.size(); ++c) {
         out[c].solve = std::move(solved[c]);
@@ -175,6 +198,15 @@ class SolverSession {
   }
 
  private:
+  /// Phase-boundary NaN/Inf sweep when the verify knob is armed.
+  void taint_check(std::span<const T> v, const std::string& object) const {
+    if (!verify_ || !verify_->taint_scan) return;
+    const analysis::Diagnostics d =
+        analysis::taint_scan(v, object, verify_->max_per_rule);
+    if (!d.ok())
+      throw Error("taint scan failed on " + object + ":\n" + d.to_string(4));
+  }
+
   /// Hashing the matrix is the only per-session cost a cache hit cannot
   /// amortize; give it its own span so request timelines show it.
   MatrixFingerprint fingerprint_traced() const {
@@ -203,6 +235,7 @@ class SolverSession {
   std::shared_ptr<SetupCache<T>> cache_;
   std::shared_ptr<const SolverSetup<T>> setup_;
   bool cache_hit_ = false;
+  std::optional<analysis::VerifyOptions> verify_;
 };
 
 /// Select the best-converging K ∈ `candidates` for the *baseline* PCG-ILU(K)

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/alloc_audit.h"
 #include "autotune/tuner.h"
 #include "core/spcg.h"
 #include "runtime/dist_session.h"
@@ -209,7 +210,8 @@ class SolveService {
     return s;
   }
 
-  /// All service counters plus the cache's, for logging/CLIs.
+  /// All service counters plus the cache's (and, in SPCG_ALLOC_AUDIT
+  /// builds, the per-phase allocation-audit totals), for logging/CLIs.
   [[nodiscard]] std::vector<CounterSample> telemetry_snapshot() const {
     std::vector<CounterSample> out = telemetry_.snapshot();
     const SetupCacheStats c = cache_->stats();
@@ -217,6 +219,7 @@ class SolveService {
     out.push_back({"setup_cache.evictions", c.evictions});
     out.push_back({"setup_cache.hits", c.hits});
     out.push_back({"setup_cache.misses", c.misses});
+    analysis::append_alloc_counters(out);
     return out;
   }
 
@@ -260,6 +263,7 @@ class SolveService {
       {
         Span span("execute", "service");
         span.arg("id", job.id);
+        const analysis::AllocAuditScope alloc_scope("service.execute");
         try {
           reply = process(job);
         } catch (const std::exception& e) {

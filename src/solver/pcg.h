@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/alloc_audit.h"
 #include "precond/preconditioner.h"
 #include "sparse/csr.h"
 #include "sparse/norms.h"
@@ -103,6 +104,13 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
       res.status = SolveStatus::kConverged;
       break;
     }
+    // Allocation probe: after the warmup iteration (k = 0), a serial-path
+    // iteration must not touch the heap — the zero-allocation contract of
+    // ROADMAP Open item 4. Tracing and history recording allocate by
+    // design, so the steady-state claim only holds with both off; the
+    // auditor attributes those allocations to this phase either way.
+    const analysis::AllocAuditScope alloc_scope("pcg.iteration",
+                                                /*steady_state=*/k > 0);
     // Per-iteration phase spans, sampled every trace_every-th iteration;
     // unsampled iterations suppress these and any nested spans (the SpTRSV
     // sweeps inside m.apply) on this thread.

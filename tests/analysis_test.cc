@@ -10,9 +10,13 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/alloc_audit.h"
 #include "analysis/lint.h"
 #include "analysis/race_detector.h"
+#include "analysis/verify.h"
 #include "core/sparsify.h"
+#include "dist/partition.h"
+#include "runtime/session.h"
 #include "gen/generators.h"
 #include "gen/suite.h"
 #include "precond/ilu.h"
@@ -395,6 +399,300 @@ TEST(Hardening, LevelScheduledSolveThrowsOnZeroDiagonal) {
   EXPECT_THROW(sptrsv_lower_levels(l, ls, std::span<const double>(b),
                                    std::span<double>(x)),
                Error);
+}
+
+// --- pipeline invariant verifier (verify.h) ---------------------------------
+//
+// Same pattern as the lint corruption tests: build a known-good setup, break
+// exactly one invariant, assert the expected stable rule id fires.
+
+TEST(Verify, CleanSetupVerifies) {
+  const Csr<double> a = good_matrix();
+  SpcgOptions opt;
+  EXPECT_TRUE(analysis::verify_setup(a, spcg_setup(a, opt), opt).ok());
+
+  SpcgOptions iluk_opt;
+  iluk_opt.preconditioner = PrecondKind::kIluK;
+  iluk_opt.fill_level = 2;
+  EXPECT_TRUE(
+      analysis::verify_setup(a, spcg_setup(a, iluk_opt), iluk_opt).ok());
+
+  SpcgOptions baseline;
+  baseline.sparsify_enabled = false;
+  EXPECT_TRUE(
+      analysis::verify_setup(a, spcg_setup(a, baseline), baseline).ok());
+}
+
+TEST(Verify, ZeroedIluDiagonalFires) {
+  const Csr<double> a = good_matrix();
+  SpcgOptions opt;
+  SpcgSetup<double> s = spcg_setup(a, opt);
+  const index_t d3 = s.factorization.diag_pos[3];
+  s.factorization.lu.values[static_cast<std::size_t>(d3)] = 0.0;
+  const Diagnostics d = analysis::verify_setup(a, s, opt);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleIluPivotNonzero)) << d;
+}
+
+TEST(Verify, FactorPatternOutsideClosureFires) {
+  // An ILU(2) factor verified against options claiming ILU(0): the fill
+  // entries lie outside the level-0 closure (= A's own pattern).
+  const Csr<double> a = good_matrix();
+  SpcgOptions built;
+  built.preconditioner = PrecondKind::kIluK;
+  built.fill_level = 2;
+  const SpcgSetup<double> s = spcg_setup(a, built);
+  SpcgOptions claimed = built;
+  claimed.preconditioner = PrecondKind::kIlu0;
+  const Diagnostics d = analysis::verify_setup(a, s, claimed);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleVerifyClosure)) << d;
+}
+
+TEST(Verify, DropRatioOutOfBoundsFires) {
+  const Csr<double> a = good_matrix();
+  SpcgOptions opt;
+  const SpcgSetup<double> s = spcg_setup(a, opt);
+  analysis::VerifyOptions vopt;
+  vopt.min_drop_ratio = 0.9;  // no sane sparsification drops 90% of A
+  const Diagnostics d = analysis::verify_setup(a, s, opt, vopt);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleVerifyDropRatio)) << d;
+}
+
+TEST(Verify, PermutedLevelScheduleFires) {
+  const Csr<double> a = good_matrix();
+  SpcgOptions opt;
+  SpcgSetup<double> s = spcg_setup(a, opt);
+  // Duplicate a row inside the schedule: no longer a permutation.
+  s.l_schedule.rows_by_level[0] = s.l_schedule.rows_by_level[1];
+  const Diagnostics d = analysis::verify_setup(a, s, opt);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleSchedulePermutation)) << d;
+}
+
+TEST(Verify, InjectedNanCaughtByTaintScan) {
+  std::vector<double> b(16, 1.0);
+  EXPECT_TRUE(analysis::taint_scan(std::span<const double>(b), "b").ok());
+  b[7] = std::numeric_limits<double>::quiet_NaN();
+  const Diagnostics d = analysis::taint_scan(std::span<const double>(b), "b");
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleTaintNonFinite)) << d;
+  b[7] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(
+      analysis::taint_scan(std::span<const double>(b), "b").ok());
+}
+
+TEST(Verify, SessionVerifyKnobArmsSetupAndTaintChecks) {
+  const Csr<double> a = good_matrix();
+  SolverSession<double> session(a, SpcgOptions{});
+  EXPECT_FALSE(session.verify_enabled());
+  session.enable_verify();
+  EXPECT_TRUE(session.verify_enabled());
+
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 1.0);
+  EXPECT_TRUE(session.solve(b).solve.converged());
+
+  b[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(session.solve(b), Error);
+}
+
+// --- distributed-layer verification (satellite: race coverage for dist) ----
+
+TEST(VerifyDist, CleanPartitionAndLocalSystemsVerify) {
+  const Csr<double> a = good_matrix();
+  for (const index_t parts : {1, 2, 4}) {
+    const Partition p = make_partition(a, parts);
+    EXPECT_TRUE(analysis::verify_partition(p).ok());
+    const auto locals = build_local_systems(a, p);
+    EXPECT_TRUE(analysis::verify_local_systems(a, p, locals).ok())
+        << "parts = " << parts;
+  }
+}
+
+TEST(VerifyDist, CorruptedPartitionFires) {
+  const Csr<double> a = good_matrix();
+  Partition p = make_partition(a, 2);
+  p.part_of[0] = 1 - p.part_of[0];  // owned lists no longer agree
+  const Diagnostics d = analysis::verify_partition(p);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleDistPartition)) << d;
+}
+
+TEST(VerifyDist, IncompleteHaloMapFires) {
+  const Csr<double> a = good_matrix();
+  const Partition p = make_partition(a, 2);
+  auto locals = build_local_systems(a, p);
+  ASSERT_FALSE(locals[0].halo.empty());
+  // Drop one halo entry: an off-part coupling is no longer covered.
+  locals[0].halo.pop_back();
+  const Diagnostics d = analysis::verify_local_systems(a, p, locals);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleDistHaloComplete)) << d;
+}
+
+TEST(VerifyDist, CorruptedHaloExchangeScheduleFires) {
+  // The dist-layer analogue of the schedule race fixtures: a halo-exchange
+  // gather schedule that reads the wrong remote slots must be caught.
+  const Csr<double> a = good_matrix();
+  const Partition p = make_partition(a, 2);
+  auto locals = build_local_systems(a, p);
+  ASSERT_FALSE(locals[0].edges.empty());
+  auto& edge = locals[0].edges[0];
+  ASSERT_GE(edge.src_local.size(), 2u);
+  std::swap(edge.src_local[0], edge.src_local[1]);  // slots read wrong owner rows
+  const Diagnostics d = analysis::verify_local_systems(a, p, locals);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleDistHaloGather)) << d;
+
+  // A slot gathered twice (another slot never) is a distinct corruption of
+  // the same schedule and must fire too.
+  auto locals2 = build_local_systems(a, p);
+  auto& edge2 = locals2[0].edges[0];
+  ASSERT_GE(edge2.dst_halo.size(), 2u);
+  edge2.dst_halo[1] = edge2.dst_halo[0];
+  const Diagnostics d2 = analysis::verify_local_systems(a, p, locals2);
+  EXPECT_FALSE(d2.ok());
+  EXPECT_TRUE(d2.has_rule(analysis::kRuleDistHaloGather)) << d2;
+}
+
+TEST(VerifyDist, CorruptedLocalSplitFires) {
+  const Csr<double> a = good_matrix();
+  const Partition p = make_partition(a, 2);
+  auto locals = build_local_systems(a, p);
+  locals[1].a_interior.values[0] += 1.0;  // no longer reproduces A
+  const Diagnostics d = analysis::verify_local_systems(a, p, locals);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleDistLocalSplit)) << d;
+}
+
+TEST(VerifyDist, ReductionDeterminismMatchesCommContract) {
+  const Csr<double> a = good_matrix();
+  std::vector<double> c(static_cast<std::size_t>(a.rows));
+  for (std::size_t i = 0; i < c.size(); ++i)
+    c[i] = 1.0 / (3.0 * static_cast<double>(i) + 1.0);
+
+  // One part: the fold *is* the serial sum — bitwise, so 0 ULPs suffice.
+  const Partition p1 = make_partition(a, 1);
+  EXPECT_TRUE(analysis::verify_reduction_determinism(
+                  p1, std::span<const double>(c), /*max_ulps=*/0)
+                  .ok());
+
+  // Four parts: a different (deterministic) association; within a generous
+  // ULP bound of the serial sum, but not bitwise equal for these values.
+  const Partition p4 = make_partition(a, 4);
+  EXPECT_TRUE(analysis::verify_reduction_determinism(
+                  p4, std::span<const double>(c), /*max_ulps=*/4096)
+                  .ok());
+  const Diagnostics strict = analysis::verify_reduction_determinism(
+      p4, std::span<const double>(c), /*max_ulps=*/0);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.has_rule(analysis::kRuleDistReduce)) << strict;
+}
+
+TEST(VerifyDist, UlpDistanceBasics) {
+  EXPECT_EQ(analysis::ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(analysis::ulp_distance(0.0, -0.0), 0u);
+  EXPECT_EQ(analysis::ulp_distance(
+                1.0, std::nextafter(1.0, 2.0)),
+            1u);
+  EXPECT_EQ(analysis::ulp_distance(
+                1.0, std::numeric_limits<double>::quiet_NaN()),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(analysis::ulp_distance(-1.0, 1.0),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+// --- hot-path allocation auditor --------------------------------------------
+
+TEST(AllocAudit, DisabledScopeObservesNothing) {
+  analysis::AllocAudit::instance().set_enabled(false);
+  const analysis::AllocAuditScope scope("test.disabled");
+  std::vector<int> v(100, 1);
+  EXPECT_EQ(scope.delta().allocs, 0u);
+}
+
+TEST(AllocAudit, DiagnosticsWithoutHooksAreInformational) {
+  if (analysis::alloc_audit_compiled()) GTEST_SKIP() << "hooks compiled";
+  const Diagnostics d = analysis::alloc_audit_diagnostics();
+  EXPECT_TRUE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleAllocSteadyState)) << d;
+}
+
+TEST(AllocAudit, ScopeCountsExplicitAllocations) {
+  if (!analysis::alloc_audit_compiled())
+    GTEST_SKIP() << "built without SPCG_ALLOC_AUDIT";
+  analysis::AllocAudit::instance().reset();
+  analysis::AllocAudit::instance().set_enabled(true);
+  {
+    const analysis::AllocAuditScope scope("test.counts");
+    const std::vector<int> v(1000, 7);
+    EXPECT_GE(scope.delta().allocs, 1u);
+    EXPECT_GE(scope.delta().bytes, 1000u * sizeof(int));
+  }
+  analysis::AllocAudit::instance().set_enabled(false);
+  bool found = false;
+  for (const auto& s : analysis::AllocAudit::instance().snapshot()) {
+    if (s.phase != "test.counts") continue;
+    found = true;
+    EXPECT_EQ(s.scopes, 1u);
+    EXPECT_GE(s.allocs, 1u);
+    EXPECT_EQ(s.steady_violations, 0u);  // not a steady scope
+  }
+  EXPECT_TRUE(found);
+  // The per-phase totals surface as telemetry counter samples too.
+  std::vector<CounterSample> samples;
+  analysis::append_alloc_counters(samples);
+  bool sampled = false;
+  for (const CounterSample& cs : samples)
+    if (cs.name == "alloc.test.counts.allocs" && cs.value >= 1) sampled = true;
+  EXPECT_TRUE(sampled);
+}
+
+TEST(AllocAudit, SteadyStateViolationBecomesDiagnostic) {
+  if (!analysis::alloc_audit_compiled())
+    GTEST_SKIP() << "built without SPCG_ALLOC_AUDIT";
+  analysis::AllocAudit::instance().reset();
+  analysis::AllocAudit::instance().set_enabled(true);
+  {
+    const analysis::AllocAuditScope scope("test.steady",
+                                          /*steady_state=*/true);
+    // Direct operator-new call: a paired `new`/`delete` expression may be
+    // elided by the optimizer, a plain function call may not.
+    void* p = ::operator new(64);
+    ::operator delete(p);
+  }
+  analysis::AllocAudit::instance().set_enabled(false);
+  EXPECT_GE(analysis::AllocAudit::instance().steady_violations(), 1u);
+  const Diagnostics d = analysis::alloc_audit_diagnostics();
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(d.has_rule(analysis::kRuleAllocSteadyState)) << d;
+  analysis::AllocAudit::instance().reset();
+}
+
+TEST(AllocAudit, SerialPcgSteadyStateIsAllocationFree) {
+  if (!analysis::alloc_audit_compiled())
+    GTEST_SKIP() << "built without SPCG_ALLOC_AUDIT";
+  // The ROADMAP Open item 4 gate: with tracing and history off, a serial
+  // PCG iteration after warmup must not touch the heap.
+  const Csr<double> a = good_matrix();
+  const SolverSession<double> session(a, SpcgOptions{});
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 1.0);
+  analysis::AllocAudit::instance().reset();
+  analysis::AllocAudit::instance().set_enabled(true);
+  const auto r = session.solve(b);
+  analysis::AllocAudit::instance().set_enabled(false);
+  EXPECT_TRUE(r.solve.converged());
+  bool found = false;
+  for (const auto& s : analysis::AllocAudit::instance().snapshot()) {
+    if (s.phase != "pcg.iteration") continue;
+    found = true;
+    EXPECT_GE(s.steady_scopes, 2u);
+    EXPECT_EQ(s.steady_allocs, 0u)
+        << s.steady_violations << " steady iteration(s) allocated";
+  }
+  EXPECT_TRUE(found);
+  analysis::AllocAudit::instance().reset();
 }
 
 }  // namespace
