@@ -29,6 +29,10 @@
 //                        steady-state iteration allocations become
 //                        alloc.steady-state errors (hooks require a build
 //                        with -DSPCG_ALLOC_AUDIT=ON)
+//   --refactorize        also verify the transient fast path: a numeric-only
+//                        refactorization into the retained symbolic setup
+//                        must reproduce a cold spcg_setup bitwise
+//                        (verify.transient.refactorize)
 //   --max-iters N        iteration cap for --audit solves (default 50)
 //   --json FILE          machine-readable diagnostics artifact (spcg-verify-v1)
 //   --strict             treat warnings as errors for the exit code
@@ -69,6 +73,7 @@ struct Options {
   bool bfs = false;
   std::uint64_t max_ulps = 4096;
   bool audit = false;
+  bool refactorize = false;
   std::int32_t max_iters = 50;
   std::string json_path;
   bool strict = false;
@@ -82,7 +87,8 @@ void usage(const char* argv0) {
       << " (<matrix.mtx>... | --suite <id>... | --suite-all)\n"
          "  [--factor ilu0|iluk] [--fill K] [--no-sparsify]\n"
          "  [--min-drop R] [--max-drop R] [--parts P]... [--bfs]\n"
-         "  [--max-ulps N] [--audit] [--max-iters N] [--json FILE]\n"
+         "  [--max-ulps N] [--audit] [--refactorize] [--max-iters N]\n"
+         "  [--json FILE]\n"
          "  [--strict] [--max-diags N] [--quiet]\n";
 }
 
@@ -145,6 +151,13 @@ analysis::Diagnostics verify_one(const Csr<double>& a,
     const analysis::Diagnostics d =
         analysis::taint_scan(std::span<const double>(b), "b", opt.max_diags);
     tally.take(name + ": taint(b)", d, opt);
+    all.merge(d);
+  }
+
+  if (opt.refactorize) {
+    const analysis::Diagnostics d =
+        analysis::verify_numeric_refactorize(a, sopt, vopt);
+    tally.take(name + ": refactorize", d, opt);
     all.merge(d);
   }
 
@@ -251,6 +264,8 @@ int main(int argc, char** argv) {
       opt.max_ulps = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--audit") {
       opt.audit = true;
+    } else if (arg == "--refactorize") {
+      opt.refactorize = true;
     } else if (arg == "--max-iters") {
       opt.max_iters = static_cast<std::int32_t>(std::atoi(next()));
     } else if (arg == "--json") {

@@ -57,25 +57,37 @@ void AllocAudit::set_enabled(bool on) noexcept {
 
 void AllocAudit::record(const char* phase, const AllocCounts& delta,
                         bool steady) {
+  // The registry's own bookkeeping may allocate (first record of a phase
+  // inserts a map node). The recording scope excludes it by computing its
+  // delta first, but an ENCLOSING scope (a steady "transient.step" wrapping
+  // "pcg.iteration" scopes) would still see it — so rewind this thread's
+  // counters by whatever record() itself allocated before returning.
+  const AllocCounts before = alloc_counts_this_thread();
   Impl& im = impl();
   const std::uint64_t allocs = delta.allocs;
   const bool violation = steady && allocs > 0;
   if (violation) im.violations.fetch_add(1, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(im.mu);
-  auto it = im.phases.find(std::string_view(phase));
-  if (it == im.phases.end()) {
-    it = im.phases.emplace(phase, PhaseAllocStats{}).first;
-    it->second.phase = phase;
+  {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    auto it = im.phases.find(std::string_view(phase));
+    if (it == im.phases.end()) {
+      it = im.phases.emplace(phase, PhaseAllocStats{}).first;
+      it->second.phase = phase;
+    }
+    PhaseAllocStats& s = it->second;
+    ++s.scopes;
+    s.allocs += allocs;
+    s.bytes += delta.bytes;
+    if (steady) {
+      ++s.steady_scopes;
+      s.steady_allocs += allocs;
+      if (violation) ++s.steady_violations;
+    }
   }
-  PhaseAllocStats& s = it->second;
-  ++s.scopes;
-  s.allocs += allocs;
-  s.bytes += delta.bytes;
-  if (steady) {
-    ++s.steady_scopes;
-    s.steady_allocs += allocs;
-    if (violation) ++s.steady_violations;
-  }
+  const AllocCounts after = alloc_counts_this_thread();
+  t_counters.allocs -= after.allocs - before.allocs;
+  t_counters.deallocs -= after.deallocs - before.deallocs;
+  t_counters.bytes -= after.bytes - before.bytes;
 }
 
 std::vector<PhaseAllocStats> AllocAudit::snapshot() const {

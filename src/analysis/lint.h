@@ -79,6 +79,8 @@ inline constexpr const char* kRuleDistHaloGather = "dist.halo.gather";
 inline constexpr const char* kRuleDistLocalSplit = "dist.local.split";
 inline constexpr const char* kRuleDistReduce = "dist.reduce.determinism";
 inline constexpr const char* kRuleAllocSteadyState = "alloc.steady-state";
+inline constexpr const char* kRuleTransientRefactorize =
+    "verify.transient.refactorize";
 
 /// One catalog entry: rule id + one-line description (for spcg-lint --rules).
 struct RuleInfo {

@@ -31,6 +31,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -41,6 +43,7 @@
 #include "analysis/race_detector.h"
 #include "core/spcg.h"
 #include "dist/partition.h"
+#include "transient/refactorize.h"
 
 namespace spcg::analysis {
 
@@ -176,6 +179,91 @@ Diagnostics verify_setup(const Csr<T>& a, const SpcgSetup<T>& s,
   if (vopt.taint_scan)
     out.merge(taint_scan(std::span<const T>(s.factorization.lu.values), "LU",
                          vopt.max_per_rule));
+  return out;
+}
+
+// --- transient refactorize verifier -----------------------------------------
+
+namespace detail {
+
+/// Bitwise vector comparison (raw bytes — catches sign-of-zero and NaN
+/// payload drift that `==` would miss). Reports kRuleTransientRefactorize.
+template <class V>
+void check_bitwise_equal(const std::vector<V>& got, const std::vector<V>& want,
+                         const char* what, Reporter& rep) {
+  if (got.size() != want.size()) {
+    rep.error(kRuleTransientRefactorize,
+              std::string(what) + ": size " + fmt(got.size()) + " vs " +
+                  fmt(want.size()));
+    return;
+  }
+  if (!got.empty() &&
+      std::memcmp(got.data(), want.data(), got.size() * sizeof(V)) != 0) {
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (std::memcmp(&got[i], &want[i], sizeof(V)) != 0)
+        rep.error(kRuleTransientRefactorize,
+                  std::string(what) + " differs from the cold setup",
+                  static_cast<index_t>(i));
+    }
+  }
+}
+
+}  // namespace detail
+
+/// The transient fast path's equivalence contract: a numeric-only
+/// refactorization (transient/refactorize.h) into a setup's retained
+/// symbolic structure must reproduce a cold spcg_setup on the same matrix
+/// *bitwise* — identical factor values, diagonal positions and split L/U.
+///
+/// Procedure: build a cold setup, clone it, scrub every numeric artifact of
+/// the clone to NaN (so agreement cannot come from the copy), refresh the
+/// clone from `a` through build_numeric_refresh/refresh_setup_numerics, and
+/// byte-compare against the cold original. Reports
+/// verify.transient.refactorize on any divergence.
+template <class T>
+Diagnostics verify_numeric_refactorize(const Csr<T>& a, const SpcgOptions& opt,
+                                       const VerifyOptions& vopt = {}) {
+  Diagnostics out;
+  detail::Reporter rep(out, "refactorize", vopt.max_per_rule);
+
+  const SpcgSetup<T> cold = spcg_setup(a, opt);
+  SpcgSetup<T> warm = cold;  // symbolic donor; numerics scrubbed below
+  const T scrub = std::numeric_limits<T>::quiet_NaN();
+  std::fill(warm.factorization.lu.values.begin(),
+            warm.factorization.lu.values.end(), scrub);
+  std::fill(warm.factors.l.values.begin(), warm.factors.l.values.end(), scrub);
+  std::fill(warm.factors.u.values.begin(), warm.factors.u.values.end(), scrub);
+  std::fill(warm.factorization.diag_pos.begin(),
+            warm.factorization.diag_pos.end(), index_t{-1});
+  if (warm.decision.has_value()) {
+    std::fill(warm.decision->chosen.a_hat.values.begin(),
+              warm.decision->chosen.a_hat.values.end(), scrub);
+    std::fill(warm.decision->chosen.s.values.begin(),
+              warm.decision->chosen.s.values.end(), scrub);
+  }
+
+  NumericRefreshWorkspace ws = build_numeric_refresh(warm, a);
+  refresh_setup_numerics(warm, a, opt, ws);
+
+  detail::check_bitwise_equal(warm.factorization.lu.values,
+                              cold.factorization.lu.values, "LU values", rep);
+  detail::check_bitwise_equal(warm.factorization.diag_pos,
+                              cold.factorization.diag_pos, "diag_pos", rep);
+  detail::check_bitwise_equal(warm.factors.l.values, cold.factors.l.values,
+                              "L values", rep);
+  detail::check_bitwise_equal(warm.factors.u.values, cold.factors.u.values,
+                              "U values", rep);
+  if (warm.decision.has_value() && cold.decision.has_value()) {
+    detail::check_bitwise_equal(warm.decision->chosen.a_hat.values,
+                                cold.decision->chosen.a_hat.values,
+                                "a_hat values", rep);
+    detail::check_bitwise_equal(warm.decision->chosen.s.values,
+                                cold.decision->chosen.s.values, "S values",
+                                rep);
+  }
+  if (warm.factorization.breakdown != cold.factorization.breakdown)
+    rep.error(kRuleTransientRefactorize,
+              "breakdown flag diverged between refresh and cold setup");
   return out;
 }
 

@@ -13,8 +13,11 @@
 // diagonal implicit), diagonal + upper part hold U.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "sparse/csr.h"
@@ -49,13 +52,17 @@ namespace detail {
 
 /// Numeric ILU on the (already sorted, diagonal-present) pattern in `lu`.
 /// `lu.values` must hold A's values at A's positions and 0 at fill positions.
+/// `pos` is caller-owned scatter scratch of size n whose entries are all -1
+/// on entry; it is restored to all -1 on return. The refactorize path passes
+/// a preallocated buffer here so a numeric-only refresh never allocates.
 template <class T>
 void ilu_numeric_in_place(Csr<T>& lu, std::vector<index_t>& diag_pos,
                           const IluOptions& opt, bool& breakdown,
-                          std::uint64_t& elimination_ops) {
+                          std::uint64_t& elimination_ops,
+                          std::span<index_t> pos) {
   const index_t n = lu.rows;
+  SPCG_CHECK(static_cast<index_t>(pos.size()) == n);
   diag_pos.assign(static_cast<std::size_t>(n), -1);
-  std::vector<index_t> pos(static_cast<std::size_t>(n), -1);
 
   for (index_t i = 0; i < n; ++i) {
     const index_t row_begin = lu.rowptr[static_cast<std::size_t>(i)];
@@ -114,6 +121,16 @@ void ilu_numeric_in_place(Csr<T>& lu, std::vector<index_t>& diag_pos,
     for (index_t p = row_begin; p < row_end; ++p)
       pos[static_cast<std::size_t>(lu.colind[static_cast<std::size_t>(p)])] = -1;
   }
+}
+
+/// Allocating convenience overload: owns the scatter scratch itself.
+template <class T>
+void ilu_numeric_in_place(Csr<T>& lu, std::vector<index_t>& diag_pos,
+                          const IluOptions& opt, bool& breakdown,
+                          std::uint64_t& elimination_ops) {
+  std::vector<index_t> pos(static_cast<std::size_t>(lu.rows), -1);
+  ilu_numeric_in_place(lu, diag_pos, opt, breakdown, elimination_ops,
+                       std::span<index_t>(pos));
 }
 
 }  // namespace detail
@@ -194,6 +211,59 @@ IluResult<T> iluk(const Csr<T>& a, index_t k, const IluOptions& opt = {},
                                r.elimination_ops);
   r.fill_nnz = r.lu.nnz() - a.nnz();
   return r;
+}
+
+/// Numeric-only refactorization: rerun the elimination on an existing
+/// factorization's pattern with fresh values from `a`. The symbolic
+/// structure (lu.rowptr/colind — A's pattern for ILU(0), the level-K closure
+/// for ILU(K)) is reused verbatim; only lu.values, diag_pos, breakdown and
+/// elimination_ops are recomputed. `a` must have the pattern the original
+/// factorization was built from (same rows and the same stored entries —
+/// only the values may differ); entries of `a` absent from the pattern are
+/// only legal when the ILU(K) per-row fill cap truncated them out of the
+/// original setup, mirroring iluk()'s scatter.
+///
+/// `pos_scratch`, when non-empty, must be a caller-owned buffer of size
+/// a.rows with every entry -1 (restored on return) — passing it makes the
+/// refresh allocation-free apart from diag_pos.assign, which reuses its
+/// existing capacity. Empty = allocate internally.
+template <class T>
+void ilu_refactorize(IluResult<T>& r, const Csr<T>& a,
+                     const IluOptions& opt = {},
+                     std::span<index_t> pos_scratch = {}) {
+  SPCG_CHECK(a.rows == a.cols);
+  SPCG_CHECK(r.lu.rows == a.rows && r.lu.cols == a.cols);
+  // ILU(0) setups (no fill, pattern == A's) must find every entry; ILU(K)
+  // setups tolerate misses because the per-row fill cap may have truncated
+  // original entries out of the pattern (IluResult does not retain the
+  // symbolic truncated_rows count, so the K > 0 case cannot be stricter).
+  const bool pattern_is_a = r.fill_nnz == 0 && r.lu.nnz() == a.nnz();
+  // Reset values to 0, then scatter A's values at A's positions — exactly
+  // the initial state iluk() hands to the numeric phase (for ILU(0) the
+  // pattern equals A's, so every find hits).
+  std::fill(r.lu.values.begin(), r.lu.values.end(), T{0});
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.rowptr[static_cast<std::size_t>(i)];
+         p < a.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const index_t q = r.lu.find(i, a.colind[static_cast<std::size_t>(p)]);
+      if (q < 0) {
+        SPCG_CHECK_MSG(!pattern_is_a,
+                       "refactorize: pattern lost original entry at row " << i);
+        continue;
+      }
+      r.lu.values[static_cast<std::size_t>(q)] =
+          a.values[static_cast<std::size_t>(p)];
+    }
+  }
+  r.breakdown = false;
+  r.elimination_ops = 0;
+  if (pos_scratch.empty()) {
+    detail::ilu_numeric_in_place(r.lu, r.diag_pos, opt, r.breakdown,
+                                 r.elimination_ops);
+  } else {
+    detail::ilu_numeric_in_place(r.lu, r.diag_pos, opt, r.breakdown,
+                                 r.elimination_ops, pos_scratch);
+  }
 }
 
 /// Split a combined LU factor into explicit triangular factors:

@@ -66,16 +66,22 @@ class BatchedIluApplier {
 
 /// Fused batched PCG over one shared factorization. Returns one SolveResult
 /// per right-hand side, each identical to a sequential pcg() on that column.
+/// `x0s` optionally supplies one initial guess per column (empty span = all
+/// columns start from zero; an empty inner vector = that column starts from
+/// zero). Warm columns mirror pcg()'s x0 path: r0 = b - A x0.
 template <class T>
 std::vector<SolveResult<T>> pcg_batched(const Csr<T>& a,
                                         std::span<const std::vector<T>> bs,
                                         const TriangularFactors<T>& factors,
                                         const LevelSchedule& l_sched,
                                         const LevelSchedule& u_sched,
-                                        const PcgOptions& opt = {}) {
+                                        const PcgOptions& opt = {},
+                                        std::span<const std::vector<T>> x0s =
+                                            {}) {
   SPCG_CHECK(a.rows == a.cols);
   const auto n = static_cast<std::size_t>(a.rows);
   const std::size_t k_cols = bs.size();
+  if (!x0s.empty()) SPCG_CHECK(x0s.size() == k_cols);
 
   struct Column {
     std::vector<T> x, r, z, p, w;
@@ -105,10 +111,21 @@ std::vector<SolveResult<T>> pcg_batched(const Csr<T>& a,
       col.done = true;
       continue;
     }
-    col.x.assign(n, T{0});
+    const bool warm = !x0s.empty() && !x0s[c].empty();
+    if (warm) SPCG_CHECK(static_cast<index_t>(x0s[c].size()) == a.rows);
+    if (warm) {
+      col.x.assign(x0s[c].begin(), x0s[c].end());
+    } else {
+      col.x.assign(n, T{0});
+    }
     col.r.assign(bs[c].begin(), bs[c].end());
     col.z.assign(n, T{0});
     col.w.assign(n, T{0});
+    if (warm) {  // r0 = b - A x0
+      spmv(a, std::span<const T>(col.x), std::span<T>(col.w));
+      for (std::size_t i = 0; i < n; ++i) col.r[i] -= col.w[i];
+      col.w.assign(n, T{0});
+    }
     col.target = opt.relative ? opt.tolerance * b_norm : opt.tolerance;
     col.r_norm = static_cast<double>(norm2(std::span<const T>(col.r)));
     active.push_back(c);

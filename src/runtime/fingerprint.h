@@ -132,6 +132,38 @@ SetupKey make_setup_key(const Csr<T>& a, const SpcgOptions& opt) {
   return SetupKey{fingerprint(a), setup_options_digest(opt)};
 }
 
+/// Pattern-only projection of a SetupKey: everything except values_hash.
+/// Two SetupKeys with equal pattern keys describe the same sparsity
+/// structure under the same setup options — a cached setup for one is a
+/// valid symbolic donor (ILU pattern, level schedules, sparsify pattern
+/// decision) for the other; only factor numerics differ. This is the key of
+/// SetupCache's secondary index behind the transient fast path.
+struct SetupPatternKey {
+  std::uint64_t pattern_hash = 0;
+  index_t rows = 0;
+  index_t nnz = 0;
+  std::uint64_t options_digest = 0;
+
+  friend bool operator==(const SetupPatternKey& a, const SetupPatternKey& b) {
+    return a.pattern_hash == b.pattern_hash && a.rows == b.rows &&
+           a.nnz == b.nnz && a.options_digest == b.options_digest;
+  }
+};
+
+struct SetupPatternKeyHash {
+  std::size_t operator()(const SetupPatternKey& k) const {
+    std::uint64_t h = detail::fnv1a_value(k.pattern_hash);
+    h = detail::fnv1a_value(k.rows, h);
+    h = detail::fnv1a_value(k.nnz, h);
+    return static_cast<std::size_t>(detail::fnv1a_value(k.options_digest, h));
+  }
+};
+
+inline SetupPatternKey pattern_key_of(const SetupKey& k) {
+  return SetupPatternKey{k.matrix.pattern_hash, k.matrix.rows, k.matrix.nnz,
+                         k.options_digest};
+}
+
 /// Same, reusing an already-computed fingerprint (e.g. shared across the
 /// fill-level candidates of select_best_fill_level).
 inline SetupKey make_setup_key(const MatrixFingerprint& fp,

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/spcg.h"
 #include "runtime/fingerprint.h"
@@ -46,6 +47,10 @@ struct SetupCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Same-pattern lookups answered from the secondary index: the exact key
+  /// missed but an entry with the same pattern + options was resident — a
+  /// values-only change, observable distinctly from a cold miss.
+  std::uint64_t partial_hits = 0;
   std::size_t entries = 0;
 
   [[nodiscard]] double hit_rate() const {
@@ -96,9 +101,11 @@ class SetupCache {
         lru_.push_front(key);
         my_generation = ++generation_;
         map_.emplace(key, Entry{future, lru_.begin(), my_generation});
+        pattern_index_[pattern_key_of(key)].push_back(key);
         build_here = true;
         while (map_.size() > capacity_) {
           const SetupKey& victim = lru_.back();  // never the key just added
+          drop_pattern_entry(victim);
           map_.erase(victim);
           lru_.pop_back();
           evictions_.add();
@@ -125,6 +132,7 @@ class SetupCache {
         const auto it = map_.find(key);
         if (it != map_.end() && it->second.generation == my_generation) {
           lru_.erase(it->second.lru_it);
+          drop_pattern_entry(key);
           map_.erase(it);
         }
       }
@@ -135,9 +143,62 @@ class SetupCache {
     return future.get();
   }
 
+  /// Peek: the resident setup for exactly `key`, or null. A hit counts
+  /// toward hits_ and touches the LRU; a miss counts nothing (callers that
+  /// fall through to get_or_build or lookup_same_pattern account for the
+  /// outcome there). Blocks if the entry is still building.
+  SetupPtr lookup(const SetupKey& key) {
+    std::shared_future<SetupPtr> future;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = map_.find(key);
+      if (it == map_.end()) return nullptr;
+      hits_.add();
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch
+      future = it->second.future;
+    }
+    try {
+      return future.get();
+    } catch (...) {
+      return nullptr;  // poisoned in-flight entry; treat as absent
+    }
+  }
+
+  /// The values-only fast path: a resident setup whose pattern + options
+  /// match `key` but whose values_hash differs (the exact key is skipped —
+  /// use lookup() first for exact hits). Returns the most recently inserted
+  /// such entry, counting a partial hit; null when no same-pattern entry is
+  /// resident. The returned setup's *symbolic* artifacts (ILU pattern,
+  /// schedules, sparsify pattern decision) are valid for `key`'s matrix; its
+  /// numerics are stale — callers refresh them (transient/refactorize.h)
+  /// and must NOT insert the refreshed clone back into the cache.
+  SetupPtr lookup_same_pattern(const SetupKey& key) {
+    std::shared_future<SetupPtr> future;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = pattern_index_.find(pattern_key_of(key));
+      if (it == pattern_index_.end()) return nullptr;
+      for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        if (*rit == key) continue;  // exact key: not a *partial* hit
+        const auto entry = map_.find(*rit);
+        if (entry == map_.end()) continue;  // stale index slot
+        partial_hits_.add();
+        future = entry->second.future;
+        break;
+      }
+    }
+    if (!future.valid()) return nullptr;
+    try {
+      return future.get();
+    } catch (...) {
+      return nullptr;
+    }
+  }
+
   [[nodiscard]] SetupCacheStats stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return {hits_.value(), misses_.value(), evictions_.value(), map_.size()};
+    return {hits_.value(), misses_.value(), evictions_.value(),
+            partial_hits_.value(), map_.size()};
   }
 
   /// Drop every entry (in-flight users keep theirs via shared_ptr).
@@ -145,6 +206,7 @@ class SetupCache {
     const std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
     lru_.clear();
+    pattern_index_.clear();
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -156,12 +218,31 @@ class SetupCache {
     std::uint64_t generation = 0;  // distinguishes re-inserts of one key
   };
 
+  /// Remove `key` from its pattern bucket (requires mu_ held).
+  void drop_pattern_entry(const SetupKey& key) {
+    const auto it = pattern_index_.find(pattern_key_of(key));
+    if (it == pattern_index_.end()) return;
+    auto& bucket = it->second;
+    for (auto bit = bucket.begin(); bit != bucket.end(); ++bit) {
+      if (*bit == key) {
+        bucket.erase(bit);
+        break;
+      }
+    }
+    if (bucket.empty()) pattern_index_.erase(it);
+  }
+
   mutable std::mutex mu_;
   std::size_t capacity_;
   std::list<SetupKey> lru_;  // front = most recently used
   std::unordered_map<SetupKey, Entry, SetupKeyHash> map_;
+  /// Secondary index: pattern+options -> resident keys, insertion-ordered
+  /// (back = newest). Serves lookup_same_pattern for the transient fast path.
+  std::unordered_map<SetupPatternKey, std::vector<SetupKey>,
+                     SetupPatternKeyHash>
+      pattern_index_;
   std::uint64_t generation_ = 0;
-  Counter hits_, misses_, evictions_;
+  Counter hits_, misses_, evictions_, partial_hits_;
 };
 
 }  // namespace spcg

@@ -219,6 +219,7 @@ class SolveService {
     out.push_back({"setup_cache.evictions", c.evictions});
     out.push_back({"setup_cache.hits", c.hits});
     out.push_back({"setup_cache.misses", c.misses});
+    out.push_back({"setup_cache.partial_hits", c.partial_hits});
     analysis::append_alloc_counters(out);
     return out;
   }

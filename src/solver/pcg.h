@@ -4,6 +4,15 @@
 // same control flow: residual check at the top of the loop, preconditioner
 // application once per iteration, and a maximum-iteration cap. cg() is the
 // unpreconditioned special case.
+//
+// Two extensions serve the transient-solve subsystem (src/transient/):
+//   * an optional initial guess x0 (warm start). When omitted the solver is
+//     bitwise identical to the historical x0 = 0 behavior — the residual is
+//     initialized directly from b with no SpMV.
+//   * an optional caller-owned PcgWorkspace. Repeated solves through one
+//     workspace reuse every scratch vector's capacity, so a steady-state
+//     solve performs zero heap allocations (the contract bench/transient and
+//     SPCG_ALLOC_AUDIT enforce).
 #pragma once
 
 #include <cstdint>
@@ -54,27 +63,59 @@ struct SolveResult {
   }
 };
 
+/// Caller-owned scratch for pcg(). A default-constructed workspace is valid;
+/// the first solve through it sizes every vector and subsequent solves of
+/// the same dimension reuse the capacity (no heap traffic). The `x` member
+/// is a donor buffer for the result: pcg() moves it into SolveResult::x, so
+/// it is empty after the call — move a retired solution buffer back in
+/// before the next solve to keep the round trip allocation-free (see
+/// TransientSession for the canonical double-buffer pattern).
+template <class T>
+struct PcgWorkspace {
+  std::vector<T> r, z, p, w, ax;
+  std::vector<T> x;  // donor buffer, consumed by each pcg() call
+};
+
 /// Left-preconditioned conjugate gradient (Algorithm 1 of the paper).
+///
+/// `x0`: optional initial guess; empty = start from zero (bitwise identical
+/// to the historical behavior — r0 is taken from b without an SpMV). When
+/// provided, x0.size() must equal a.rows and must not alias the workspace.
+/// `ws`: optional caller-owned scratch (see PcgWorkspace); null = private
+/// scratch allocated per call.
 template <class T>
 SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
-                   const Preconditioner<T>& m, const PcgOptions& opt = {}) {
+                   const Preconditioner<T>& m, const PcgOptions& opt = {},
+                   std::span<const T> x0 = {}, PcgWorkspace<T>* ws = nullptr) {
   SPCG_CHECK(a.rows == a.cols);
   SPCG_CHECK(static_cast<index_t>(b.size()) == a.rows);
   SPCG_CHECK(m.rows() == a.rows);
   const auto n = static_cast<std::size_t>(a.rows);
+  const bool warm = !x0.empty();
+  if (warm) SPCG_CHECK(static_cast<index_t>(x0.size()) == a.rows);
 
   Span pcg_span("pcg", "solve");
   pcg_span.arg("rows", static_cast<std::int64_t>(a.rows));
   pcg_span.arg("nnz", static_cast<std::int64_t>(a.nnz()));
 
+  PcgWorkspace<T> local;
+  PcgWorkspace<T>& wk = ws != nullptr ? *ws : local;
+
   SolveResult<T> res;
-  res.x.assign(n, T{0});  // x0 = 0
+  res.x = std::move(wk.x);  // donor buffer (empty for the private workspace)
+  if (warm) {
+    res.x.assign(x0.begin(), x0.end());
+  } else {
+    res.x.assign(n, T{0});  // x0 = 0
+  }
 
   const double b_norm = static_cast<double>(norm2(b));
   if (b_norm == 0.0) {
     // b = 0 has the exact solution x = 0. Under relative tolerance the
     // threshold tolerance*||b|| would be 0 and ||r|| < 0 can never hold, so
-    // the solver could only exit at max_iterations; answer directly instead.
+    // the solver could only exit at max_iterations; answer directly instead
+    // (an initial guess is discarded — the exact answer is known).
+    res.x.assign(n, T{0});
     res.status = SolveStatus::kConverged;
     if (opt.record_history) res.residual_history.push_back(0.0);
     pcg_span.arg("iterations", std::int64_t{0});
@@ -82,20 +123,29 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
   }
 
   const bool trace_iters = opt.trace_every > 0 && global_trace().enabled();
-  std::vector<T> r(b.begin(), b.end());  // r0 = b - A*0 = b
-  std::vector<T> z(n), p(n), w(n);
+  wk.r.assign(b.begin(), b.end());  // r0 = b - A x0 (x0 = 0: r0 = b)
+  if (warm) {
+    // r0 = b - A x0, computed against the solver's own copy of the guess so
+    // callers may pass a span into a buffer they are about to recycle.
+    wk.w.assign(n, T{0});
+    spmv(a, std::span<const T>(res.x), std::span<T>(wk.w));
+    for (std::size_t i = 0; i < n; ++i) wk.r[i] -= wk.w[i];
+  }
+  wk.z.assign(n, T{0});
+  wk.p.assign(n, T{0});
+  wk.w.assign(n, T{0});
   {
     const TraceSampleScope sample(trace_iters);
     Span span("precond", "solve");
-    m.apply(r, std::span<T>(z));
+    m.apply(std::span<const T>(wk.r), std::span<T>(wk.z));
   }
-  p = z;
+  wk.p.assign(wk.z.begin(), wk.z.end());
 
-  T rz = dot(std::span<const T>(r), std::span<const T>(z));
+  T rz = dot(std::span<const T>(wk.r), std::span<const T>(wk.z));
   const double target =
       opt.relative ? opt.tolerance * b_norm : opt.tolerance;  // b_norm > 0
 
-  double r_norm = static_cast<double>(norm2(std::span<const T>(r)));
+  double r_norm = static_cast<double>(norm2(std::span<const T>(wk.r)));
   if (opt.record_history) res.residual_history.push_back(r_norm);
 
   std::int32_t k = 0;
@@ -121,11 +171,11 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
     T pw;
     {
       Span span("spmv", "solve");
-      spmv(a, std::span<const T>(p), std::span<T>(w));
+      spmv(a, std::span<const T>(wk.p), std::span<T>(wk.w));
     }
     {
       Span span("reduce", "solve");
-      pw = dot(std::span<const T>(p), std::span<const T>(w));
+      pw = dot(std::span<const T>(wk.p), std::span<const T>(wk.w));
     }
     if (!(pw > T{0})) {  // SPD curvature must be positive; catches NaN too
       res.status = SolveStatus::kBreakdown;
@@ -134,17 +184,17 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
     const T alpha = rz / pw;
     {
       Span span("axpy", "solve");
-      axpy(alpha, std::span<const T>(p), std::span<T>(res.x));
-      axpy(-alpha, std::span<const T>(w), std::span<T>(r));
+      axpy(alpha, std::span<const T>(wk.p), std::span<T>(res.x));
+      axpy(-alpha, std::span<const T>(wk.w), std::span<T>(wk.r));
     }
     {
       Span span("precond", "solve");
-      m.apply(r, std::span<T>(z));
+      m.apply(std::span<const T>(wk.r), std::span<T>(wk.z));
     }
     T rz_next;
     {
       Span span("reduce", "solve");
-      rz_next = dot(std::span<const T>(r), std::span<const T>(z));
+      rz_next = dot(std::span<const T>(wk.r), std::span<const T>(wk.z));
     }
     if (rz == T{0} || rz_next != rz_next) {  // NaN guard
       res.status = SolveStatus::kBreakdown;
@@ -155,11 +205,11 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
     rz = rz_next;
     {
       Span span("axpy", "solve");
-      xpby(std::span<const T>(z), beta, std::span<T>(p));
+      xpby(std::span<const T>(wk.z), beta, std::span<T>(wk.p));
     }
     {
       Span span("reduce", "solve");
-      r_norm = static_cast<double>(norm2(std::span<const T>(r)));
+      r_norm = static_cast<double>(norm2(std::span<const T>(wk.r)));
     }
     if (opt.record_history) res.residual_history.push_back(r_norm);
   }
@@ -170,11 +220,11 @@ SolveResult<T> pcg(const Csr<T>& a, std::span<const T> b,
   pcg_span.arg("iterations", k);
   pcg_span.arg("converged", res.converged());
   // Recompute the true residual (the recurrence can drift).
-  std::vector<T> ax(n);
-  spmv(a, std::span<const T>(res.x), std::span<T>(ax));
+  wk.ax.assign(n, T{0});
+  spmv(a, std::span<const T>(res.x), std::span<T>(wk.ax));
   double true_norm = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(b[i]) - static_cast<double>(ax[i]);
+    const double d = static_cast<double>(b[i]) - static_cast<double>(wk.ax[i]);
     true_norm += d * d;
   }
   res.final_residual_norm = std::sqrt(true_norm);

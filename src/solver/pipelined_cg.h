@@ -19,21 +19,35 @@
 
 namespace spcg {
 
-/// Pipelined PCG. Same options/result types as pcg().
+/// Pipelined PCG. Same options/result types as pcg(). `x0` is an optional
+/// initial guess: empty = start from zero (bitwise identical to the
+/// historical behavior — r0 is taken from b without an SpMV).
 template <class T>
 SolveResult<T> pipelined_pcg(const Csr<T>& a, std::span<const T> b,
                              const Preconditioner<T>& m,
-                             const PcgOptions& opt = {}) {
+                             const PcgOptions& opt = {},
+                             std::span<const T> x0 = {}) {
   SPCG_CHECK(a.rows == a.cols);
   SPCG_CHECK(static_cast<index_t>(b.size()) == a.rows);
   SPCG_CHECK(m.rows() == a.rows);
   const auto n = static_cast<std::size_t>(a.rows);
+  const bool warm = !x0.empty();
+  if (warm) SPCG_CHECK(static_cast<index_t>(x0.size()) == a.rows);
 
   SolveResult<T> res;
-  res.x.assign(n, T{0});
+  if (warm) {
+    res.x.assign(x0.begin(), x0.end());
+  } else {
+    res.x.assign(n, T{0});
+  }
 
-  std::vector<T> r(b.begin(), b.end());  // r0 = b
+  std::vector<T> r(b.begin(), b.end());  // r0 = b - A x0 (x0 = 0: r0 = b)
   std::vector<T> z(n), w(n), mw(n), p(n), s(n), q(n);
+  if (warm) {
+    spmv(a, std::span<const T>(res.x), std::span<T>(w));
+    for (std::size_t i = 0; i < n; ++i) r[i] -= w[i];
+    w.assign(n, T{0});
+  }
 
   m.apply(r, std::span<T>(z));                      // z = M^{-1} r
   spmv(a, std::span<const T>(z), std::span<T>(w));  // w = A z

@@ -1,0 +1,79 @@
+// Per-step solve policies for time-stepping workloads.
+//
+// Three modes, matching how the related repos actually drive their CG:
+//   * kTolerance — a fixed convergence target every step (ARDiS-style:
+//     solve to tolerance, however many iterations it takes).
+//   * kFixedBudget — exactly `iteration_budget` iterations per step with no
+//     convergence exit (MPS_DAWN-style per-frame pressure solve: the frame
+//     deadline bounds work, the residual is whatever the budget buys).
+//   * kAdaptive — a per-step absolute target derived from the step's own
+//     initial residual: max(adaptive_floor, adaptive_reduction * ||r0||).
+//     With warm starts ||r0|| shrinks as the sequence settles, so the
+//     target tightens where progress is cheap and relaxes after a jolt.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "solver/pcg.h"
+
+namespace spcg {
+
+enum class StepMode { kTolerance, kFixedBudget, kAdaptive };
+
+inline const char* to_string(StepMode m) {
+  switch (m) {
+    case StepMode::kTolerance: return "tolerance";
+    case StepMode::kFixedBudget: return "fixed-budget";
+    case StepMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+/// How each step of a transient sequence is solved.
+struct StepPolicy {
+  StepMode mode = StepMode::kTolerance;
+
+  // kTolerance: the usual pcg() knobs.
+  double tolerance = 1e-10;
+  bool relative = false;
+  std::int32_t max_iterations = 1000;
+
+  // kFixedBudget: iterations per step, exactly.
+  std::int32_t iteration_budget = 30;
+
+  // kAdaptive: absolute target = max(floor, reduction * ||r0||).
+  double adaptive_reduction = 1e-6;
+  double adaptive_floor = 1e-12;
+};
+
+/// The PcgOptions for one step. `r0_norm` is the step's initial residual
+/// norm ||b - A x0||; it is only read in kAdaptive mode (pass 0.0
+/// otherwise). kFixedBudget sets an unreachable target (0.0, absolute) so
+/// the loop's `r_norm < target` test never exits early and exactly
+/// `iteration_budget` iterations run (breakdown excepted).
+inline PcgOptions step_solve_options(const StepPolicy& policy,
+                                     double r0_norm = 0.0) {
+  PcgOptions opt;
+  switch (policy.mode) {
+    case StepMode::kTolerance:
+      opt.tolerance = policy.tolerance;
+      opt.relative = policy.relative;
+      opt.max_iterations = policy.max_iterations;
+      break;
+    case StepMode::kFixedBudget:
+      opt.tolerance = 0.0;
+      opt.relative = false;
+      opt.max_iterations = policy.iteration_budget;
+      break;
+    case StepMode::kAdaptive:
+      opt.tolerance =
+          std::max(policy.adaptive_floor, policy.adaptive_reduction * r0_norm);
+      opt.relative = false;
+      opt.max_iterations = policy.max_iterations;
+      break;
+  }
+  return opt;
+}
+
+}  // namespace spcg

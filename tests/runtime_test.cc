@@ -173,6 +173,71 @@ TEST(RuntimeCache, ConcurrentRequestsForOneKeyBuildOnce) {
   EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads) - 1);
 }
 
+TEST(RuntimeCache, SamePatternLookupServesPartialHits) {
+  const Csr<double> a = gen_poisson2d(10, 10);
+  Csr<double> perturbed = a;
+  for (double& v : perturbed.values) v *= 1.25;
+  const SpcgOptions opt = fast_options();
+
+  SetupCache<double> cache(4);
+  const auto donor = cache.get_or_build(a, opt);
+
+  // Exact lookup: peek without building; a miss stays a nullptr.
+  const SetupKey exact = make_setup_key(a, opt);
+  EXPECT_EQ(cache.lookup(exact).get(), donor.get());
+  const SetupKey wanted = make_setup_key(perturbed, opt);
+  EXPECT_EQ(cache.lookup(wanted), nullptr);
+
+  // Same pattern + options, different values: the secondary index answers.
+  const auto partial = cache.lookup_same_pattern(wanted);
+  ASSERT_NE(partial, nullptr);
+  EXPECT_EQ(partial.get(), donor.get());
+
+  const SetupCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.partial_hits, 1u);
+  EXPECT_EQ(stats.hits, 1u);  // the exact lookup() above
+}
+
+TEST(RuntimeCache, SamePatternLookupSkipsTheExactKey) {
+  // With only the exact entry resident, a same-pattern probe for that very
+  // key must return nothing: lookup() already owns the exact-hit path.
+  const Csr<double> a = gen_poisson2d(10, 10);
+  const SpcgOptions opt = fast_options();
+  SetupCache<double> cache(4);
+  cache.get_or_build(a, opt);
+  EXPECT_EQ(cache.lookup_same_pattern(make_setup_key(a, opt)), nullptr);
+  EXPECT_EQ(cache.stats().partial_hits, 0u);
+}
+
+TEST(RuntimeCache, SamePatternLookupRespectsOptionsAndEviction) {
+  const Csr<double> a = gen_poisson2d(10, 10);
+  Csr<double> perturbed = a;
+  for (double& v : perturbed.values) v *= 2.0;
+  const SpcgOptions opt = fast_options();
+
+  SetupCache<double> cache(1);
+  cache.get_or_build(a, opt);
+
+  // Different setup-relevant options -> different pattern bucket.
+  SpcgOptions iluk = opt;
+  iluk.preconditioner = PrecondKind::kIluK;
+  iluk.fill_level = 2;
+  EXPECT_EQ(cache.lookup_same_pattern(make_setup_key(perturbed, iluk)),
+            nullptr);
+
+  // Evicting the donor must also drop it from the pattern index.
+  cache.get_or_build(gen_poisson2d(11, 11), opt);  // capacity 1: evicts a
+  EXPECT_EQ(cache.lookup_same_pattern(make_setup_key(perturbed, opt)),
+            nullptr);
+  EXPECT_EQ(cache.stats().partial_hits, 0u);
+
+  // clear() resets the index as well.
+  cache.get_or_build(a, opt);
+  cache.clear();
+  EXPECT_EQ(cache.lookup_same_pattern(make_setup_key(perturbed, opt)),
+            nullptr);
+}
+
 // -------------------------------------------------------------------- session
 
 TEST(RuntimeSession, MatchesSpcgSolve) {
