@@ -16,6 +16,7 @@
 // Usage:
 //   spcg-serve [--requests N] [--matrices M] [--workers W] [--seed S]
 //              [--fill K] [--deadline-ms D] [--parts P] [--overlap]
+//              [--comm-reduced] [--transport KIND] [--inject-latency-us U]
 //              [--no-compare] [--trace-out FILE] [--metrics-out FILE]
 //              [--trace-every N] [--autotune] [--tune-db FILE]
 //
@@ -28,6 +29,13 @@
 //   --parts P        solve each request distributed over P thread-ranks
 //                    (default 1 = serial session)
 //   --overlap        use the communication-overlapped distributed body
+//   --comm-reduced   use the communication-reduced body (one fused
+//                    all-reduce per iteration); implies a distributed solve
+//   --transport K    transport backing the rank collectives: inproc
+//                    (default), shm, or socket
+//   --inject-latency-us U
+//                    add U microseconds of synthetic latency to every
+//                    collective (models a slow interconnect)
 //   --no-compare     skip the per-request baseline replay
 //   --trace-out F    enable tracing; write Chrome trace JSON to F at exit
 //   --metrics-out F  write Prometheus text exposition to F at exit
@@ -79,6 +87,8 @@ struct CliOptions {
   int deadline_ms = -1;
   int parts = 1;
   bool overlap = false;
+  bool comm_reduced = false;
+  TransportOptions transport;
   bool compare = true;
   int trace_every = 0;
   std::string trace_out;
@@ -91,6 +101,8 @@ void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--requests N] [--matrices M] [--workers W] [--seed S]\n"
                "  [--fill K] [--deadline-ms D] [--parts P] [--overlap]"
+               " [--comm-reduced]\n"
+               "  [--transport inproc|shm|socket] [--inject-latency-us U]"
                " [--no-compare]\n"
                "  [--trace-out FILE] [--metrics-out FILE] [--trace-every N]\n"
                "  [--autotune] [--tune-db FILE]\n";
@@ -177,6 +189,21 @@ bool parse(int argc, char** argv, CliOptions* out) {
       if (!next_int(1, 256, &out->parts)) return false;
     } else if (arg == "--overlap") {
       out->overlap = true;
+    } else if (arg == "--comm-reduced") {
+      out->comm_reduced = true;
+    } else if (arg == "--transport") {
+      const char* text = next();
+      if (text == nullptr) return false;
+      if (!parse_transport_kind(text, &out->transport.kind)) {
+        std::cerr << "error: --transport expects inproc, shm, or socket; "
+                     "got '"
+                  << text << "'\n";
+        return false;
+      }
+    } else if (arg == "--inject-latency-us") {
+      int us = 0;
+      if (!next_int(0, 10'000'000, &us)) return false;
+      out->transport.inject_latency_us = static_cast<std::uint32_t>(us);
     } else if (arg == "--no-compare") {
       out->compare = false;
     } else if (arg == "--trace-out") {
@@ -202,6 +229,18 @@ bool parse(int argc, char** argv, CliOptions* out) {
   if (out->autotune && out->parts > 1) {
     std::cerr << "error: --autotune supports serial requests only "
                  "(--parts 1)\n";
+    return false;
+  }
+  if (out->overlap && out->comm_reduced) {
+    std::cerr << "error: --overlap and --comm-reduced are mutually "
+                 "exclusive bodies\n";
+    return false;
+  }
+  if (out->parts == 1 &&
+      (out->comm_reduced || out->transport.kind != TransportKind::kInProcess ||
+       out->transport.inject_latency_us > 0)) {
+    std::cerr << "error: --comm-reduced / --transport / --inject-latency-us "
+                 "require a distributed solve (--parts > 1)\n";
     return false;
   }
   return true;
@@ -299,9 +338,16 @@ int main(int argc, char** argv) {
             << (cli.fill >= 0
                     ? ", ILU(" + std::to_string(cli.fill) + ")"
                     : ", ILU(0)");
-  if (cli.parts > 1)
-    std::cout << ", " << cli.parts << " parts"
-              << (cli.overlap ? " (overlapped)" : "");
+  if (cli.parts > 1) {
+    std::cout << ", " << cli.parts << " parts";
+    if (cli.comm_reduced)
+      std::cout << " (comm-reduced)";
+    else if (cli.overlap)
+      std::cout << " (overlapped)";
+    std::cout << ", transport " << to_string(cli.transport.kind);
+    if (cli.transport.inject_latency_us > 0)
+      std::cout << " +" << cli.transport.inject_latency_us << "us";
+  }
   std::cout << "\n\n";
 
   // Request-scoped latency sketch: the shutdown summary and the Prometheus
@@ -328,6 +374,8 @@ int main(int argc, char** argv) {
       req.deadline = std::chrono::milliseconds(cli.deadline_ms);
     req.parts = static_cast<index_t>(cli.parts);
     req.overlap_comm = cli.overlap;
+    req.comm_reduced = cli.comm_reduced;
+    req.transport = cli.transport;
     req.autotune = cli.autotune;
     tickets.push_back(service.submit(std::move(req)));
   }

@@ -1,154 +1,114 @@
-// In-process communicator for the distributed solver layer: P std::thread
-// ranks over one CommWorld, with the collectives a PCG iteration needs —
-// barrier, fused all-reduce (deterministic), and neighbor halo exchange.
+// Typed communicator facade for the distributed solver layer: one rank's
+// handle over a pluggable Transport endpoint (dist/transport.h), carrying
+// the collectives a PCG iteration needs — barrier, fused all-reduce
+// (deterministic), and neighbor halo exchange.
 //
-// Determinism contract: all-reduce writes each rank's partial into a
-// per-rank slot and, after one barrier phase, every rank sums the slots in
-// ascending rank order. The result is therefore (a) bitwise identical on
-// every rank, (b) bitwise reproducible run-to-run for a fixed rank count,
-// and (c) for P == 1 bitwise equal to the serial accumulation — which is
-// what makes dist_pcg(P=1) bitwise-equal to spcg_solve.
+// Determinism contract (delegated to the transport): the all-reduce folds
+// per-rank partials in ascending rank order, accumulated in double. The
+// result is (a) bitwise identical on every rank, (b) bitwise reproducible
+// run-to-run for a fixed rank count, and (c) for P == 1 bitwise equal to
+// the serial accumulation — which is what makes dist_pcg(P=1) bitwise-equal
+// to spcg_solve.
 //
 // Split-phase collectives: reduce_begin/exchange_begin publish this rank's
-// contribution and *arrive* at the barrier; the matching _end *waits* for
-// the phase and then reads. Work placed between begin and end (interior
-// SpMV, a preconditioner apply) overlaps the other ranks' arrival — the
-// shared-memory analogue of overlapping communication with computation.
+// contribution and *arrive* at the collective; the matching _end *waits*
+// and then reads. Work placed between begin and end (interior SpMV, a
+// preconditioner apply) overlaps the other ranks' arrival — the analogue of
+// overlapping communication with computation, on any backing.
 //
-// Reuse safety without trailing barriers: slots and publication windows are
-// double-banked by collective sequence parity. A rank can re-write a bank
-// only after passing the *next* collective's barrier, which every other rank
-// can only reach after finishing its reads of the previous use of that bank
-// — so one barrier phase per collective suffices. One caller-facing rule
-// remains: a buffer published to exchange_begin must not be mutated until
-// after the next collective (any reduce, barrier or exchange); both solver
-// loops satisfy it because a dot-product reduction always follows an SpMV
-// before its input vector is updated.
+// One caller-facing reuse rule (the transport contract): a buffer published
+// to exchange_begin must not be mutated until after the next collective
+// (any reduce, barrier or exchange). Both solver loops satisfy it because a
+// dot-product reduction always follows an SpMV before its input vector is
+// updated.
 //
-// The interface is deliberately MPI-shaped (rank/size, allreduce, neighbor
-// lists) so a later transport (MPI, NCCL-style) can back the same calls.
+// Stats split: the Communicator counts traffic (allreduces, halo exchanges,
+// halo bytes, overlapped compute) into the transport's CommStats; the
+// transport itself accounts blocked wait time — so stats() is one complete
+// per-rank profile regardless of backing.
 #pragma once
 
 #include <array>
-#include <barrier>
-#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "dist/partition.h"
+#include "dist/transport.h"
 #include "support/error.h"
-#include "support/timer.h"
 
 namespace spcg {
-
-/// Thrown by collectives on ranks that observe another rank's abort; the
-/// rank launcher treats it as secondary and rethrows the originating error.
-class CommAborted : public Error {
- public:
-  CommAborted() : Error("communicator aborted by another rank") {}
-};
-
-/// Per-communicator instrumentation, aggregated by the solver after a run.
-struct CommStats {
-  std::uint64_t allreduces = 0;
-  std::uint64_t halo_exchanges = 0;
-  std::uint64_t halo_bytes = 0;       // payload gathered by this rank
-  double wait_seconds = 0.0;          // time blocked in barrier waits
-  double overlap_hidden_seconds = 0.0;  // compute done inside open collectives
-};
 
 template <class T>
 class Communicator;
 
-/// Shared state of one P-rank world. Construct once, hand a Communicator to
-/// each rank thread. Reusable across solves as long as ranks stay in step.
+/// Compatibility shim: a P-rank in-process world. Construct once, hand a
+/// Communicator to each rank thread. New code should build a TransportGroup
+/// via make_transport_group and wrap each endpoint in a Communicator — this
+/// class survives so existing harnesses (tests, benches) keep working.
 template <class T>
 class CommWorld {
  public:
-  explicit CommWorld(index_t ranks)
-      : size_(ranks),
-        barrier_(static_cast<std::ptrdiff_t>(ranks)),
-        slots_{std::vector<Slot>(static_cast<std::size_t>(ranks)),
-               std::vector<Slot>(static_cast<std::size_t>(ranks))},
-        windows_{std::vector<const T*>(static_cast<std::size_t>(ranks), nullptr),
-                 std::vector<const T*>(static_cast<std::size_t>(ranks), nullptr)} {
+  explicit CommWorld(index_t ranks, const TransportOptions& opt = {})
+      : group_(make_transport_group(ranks, {}, opt)) {
     SPCG_CHECK(ranks >= 1);
   }
 
   CommWorld(const CommWorld&) = delete;
   CommWorld& operator=(const CommWorld&) = delete;
 
-  [[nodiscard]] index_t size() const { return size_; }
-  [[nodiscard]] bool aborted() const {
-    return abort_.load(std::memory_order_relaxed);
+  [[nodiscard]] index_t size() const { return group_->size(); }
+  [[nodiscard]] bool aborted() const { return group_->aborted(); }
+  [[nodiscard]] Transport& transport(index_t rank) {
+    return group_->transport(rank);
   }
 
   /// Widest fused reduction supported (enough for {dot, dot, norm^2, spare}).
-  static constexpr std::size_t kReduceWidth = 4;
+  static constexpr std::size_t kReduceWidth = Transport::kReduceWidth;
 
  private:
-  friend class Communicator<T>;
-
-  struct alignas(64) Slot {
-    std::array<double, kReduceWidth> v{};
-  };
-
-  index_t size_;
-  std::barrier<> barrier_;
-  std::array<std::vector<Slot>, 2> slots_;          // reduce banks
-  std::array<std::vector<const T*>, 2> windows_;    // exchange banks
-  std::atomic<bool> abort_{false};
+  std::unique_ptr<TransportGroup> group_;
 };
 
-/// One rank's handle onto a CommWorld. Not thread-safe; exactly one thread
-/// drives each rank, and all ranks must issue the same collective sequence.
+/// One rank's typed handle over a Transport endpoint. Not thread-safe;
+/// exactly one thread drives each rank, and all ranks must issue the same
+/// collective sequence.
 template <class T>
 class Communicator {
  public:
-  Communicator(CommWorld<T>* world, index_t rank)
-      : world_(world), rank_(rank) {
-    SPCG_CHECK(rank >= 0 && rank < world->size());
+  explicit Communicator(Transport* transport) : t_(transport) {
+    SPCG_CHECK(t_ != nullptr);
   }
 
-  [[nodiscard]] index_t rank() const { return rank_; }
-  [[nodiscard]] index_t size() const { return world_->size_; }
-  [[nodiscard]] const CommStats& stats() const { return stats_; }
+  /// Legacy spelling over an in-process world.
+  Communicator(CommWorld<T>* world, index_t rank)
+      : Communicator(&world->transport(rank)) {}
+
+  [[nodiscard]] index_t rank() const { return t_->rank(); }
+  [[nodiscard]] index_t size() const { return t_->size(); }
+  [[nodiscard]] const CommStats& stats() const { return t_->stats(); }
 
   /// Plain synchronization point (also closes the mutation window of a
   /// preceding exchange).
-  void barrier() { wait_checked(world_->barrier_.arrive()); }
+  void barrier() { t_->barrier(); }
 
   struct ReduceHandle {
-    std::barrier<>::arrival_token token;
-    int bank = 0;
     std::size_t width = 0;
   };
 
   /// Publish this rank's partials and arrive. Compute between begin and end
   /// overlaps the reduction's synchronization.
   ReduceHandle reduce_begin(std::span<const double> vals) {
-    SPCG_CHECK(vals.size() >= 1 && vals.size() <= CommWorld<T>::kReduceWidth);
-    const int bank = static_cast<int>(reduce_seq_++ & 1u);
-    auto& slot = world_->slots_[static_cast<std::size_t>(bank)]
-                               [static_cast<std::size_t>(rank_)];
-    for (std::size_t j = 0; j < vals.size(); ++j) slot.v[j] = vals[j];
-    ++stats_.allreduces;
-    return ReduceHandle{world_->barrier_.arrive(), bank, vals.size()};
+    ++t_->mutable_stats().allreduces;
+    t_->reduce_begin(vals);
+    return ReduceHandle{vals.size()};
   }
 
-  /// Wait for every rank's partials and fold them in ascending rank order
-  /// (the deterministic reduction). Every rank computes the same bits.
+  /// Wait for every rank's partials folded in ascending rank order (the
+  /// deterministic reduction). Every rank computes the same bits.
   void reduce_end(ReduceHandle& h, std::span<double> out) {
     SPCG_CHECK(out.size() == h.width);
-    wait_checked(std::move(h.token));
-    const auto& bank = world_->slots_[static_cast<std::size_t>(h.bank)];
-    for (std::size_t j = 0; j < h.width; ++j) {
-      double acc = 0.0;
-      for (index_t r = 0; r < world_->size_; ++r)
-        acc += bank[static_cast<std::size_t>(r)].v[j];
-      out[j] = acc;
-    }
+    t_->reduce_end(out);
   }
 
   /// Blocking fused all-reduce (in place).
@@ -164,65 +124,44 @@ class Communicator {
     return buf[0];
   }
 
-  struct ExchangeHandle {
-    std::barrier<>::arrival_token token;
-    int bank = 0;
-  };
+  struct ExchangeHandle {};
 
   /// Publish this rank's owned vector and arrive. `owned` must stay
   /// unmodified until after the next collective following exchange_end.
-  ExchangeHandle exchange_begin(const T* owned) {
-    const int bank = static_cast<int>(exchange_seq_++ & 1u);
-    world_->windows_[static_cast<std::size_t>(bank)]
-                    [static_cast<std::size_t>(rank_)] = owned;
-    ++stats_.halo_exchanges;
-    return ExchangeHandle{world_->barrier_.arrive(), bank};
+  ExchangeHandle exchange_begin(std::span<const T> owned) {
+    ++t_->mutable_stats().halo_exchanges;
+    t_->window_begin(owned.data(), owned.size_bytes());
+    return ExchangeHandle{};
   }
 
   /// Wait for all publications, then gather this rank's halo slots from its
   /// neighbors' published vectors.
-  void exchange_end(ExchangeHandle& h, const LocalSystem<T>& local,
+  void exchange_end(ExchangeHandle&, const LocalSystem<T>& local,
                     std::span<T> halo) {
     SPCG_CHECK(static_cast<index_t>(halo.size()) == local.halo_size());
-    wait_checked(std::move(h.token));
-    const auto& window = world_->windows_[static_cast<std::size_t>(h.bank)];
+    t_->window_end();
     for (const auto& edge : local.edges) {
-      const T* src = window[static_cast<std::size_t>(edge.neighbor)];
+      const T* src = static_cast<const T*>(t_->window(edge.neighbor));
       for (std::size_t k = 0; k < edge.src_local.size(); ++k)
         halo[static_cast<std::size_t>(edge.dst_halo[k])] =
             src[static_cast<std::size_t>(edge.src_local[k])];
-      stats_.halo_bytes += edge.src_local.size() * sizeof(T);
+      t_->mutable_stats().halo_bytes += edge.src_local.size() * sizeof(T);
     }
   }
 
   /// Record compute time spent inside an open collective (the overlapped
   /// portion of communication); feeds the overlap-efficiency metric.
   void note_overlap_compute(double seconds) {
-    stats_.overlap_hidden_seconds += seconds;
+    t_->mutable_stats().overlap_hidden_seconds += seconds;
   }
 
-  /// Mark the world aborted and drop out of the barrier so the surviving
-  /// ranks' waits complete; they observe the flag and throw CommAborted at
-  /// their next collective. Call only once per rank, from the rank's
-  /// top-level catch (i.e. outside any begin/end window).
-  void abort() noexcept {
-    world_->abort_.store(true, std::memory_order_relaxed);
-    world_->barrier_.arrive_and_drop();
-  }
+  /// Mark the group aborted and unblock the surviving ranks; they observe
+  /// the flag and throw CommAborted at their next collective wait. Call from
+  /// the rank's top-level catch (i.e. outside any begin/end window).
+  void abort() noexcept { t_->abort(); }
 
  private:
-  void wait_checked(std::barrier<>::arrival_token&& token) {
-    WallTimer timer;
-    world_->barrier_.wait(std::move(token));
-    stats_.wait_seconds += timer.seconds();
-    if (world_->abort_.load(std::memory_order_relaxed)) throw CommAborted();
-  }
-
-  CommWorld<T>* world_;
-  index_t rank_;
-  std::uint64_t reduce_seq_ = 0;
-  std::uint64_t exchange_seq_ = 0;
-  CommStats stats_;
+  Transport* t_;
 };
 
 }  // namespace spcg

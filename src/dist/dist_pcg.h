@@ -1,16 +1,30 @@
-// Distributed SPCG: PCG over a row-partitioned system with P in-process
-// ranks, each preconditioned by its own SPCG subdomain setup (restricted
-// additive Schwarz, overlap 0: every rank factorizes its owned x owned
-// interior block via spcg_setup and applies it with an IluApplier).
+// Distributed SPCG: PCG over a row-partitioned system with P ranks, each
+// preconditioned by its own SPCG subdomain setup (restricted additive
+// Schwarz, overlap 0: every rank factorizes its owned x owned interior
+// block via spcg_setup and applies it with an IluApplier). Ranks talk over
+// a pluggable Transport (dist/transport.h): in-process threads, a POSIX
+// shared-memory segment, or TCP sockets.
 //
-// Two solver bodies, selected by DistOptions::overlap:
-//   * classic    — mirrors solver/pcg.h line by line. Two reductions per
+// Three solver bodies, selected by DistOptions::body:
+//   * classic      — mirrors solver/pcg.h line by line. Two reductions per
 //     iteration ({p,w} curvature; fused {r,z} + ||r||^2), one blocking halo
 //     exchange before the SpMV.
-//   * overlapped — mirrors solver/pipelined_cg.h. One fused reduction per
-//     iteration whose synchronization overlaps the preconditioner apply, and
-//     a halo exchange whose in-flight window overlaps the interior SpMV
-//     (LocalSystem's interior/boundary split exists for exactly this).
+//   * overlapped   — mirrors solver/pipelined_cg.h. One fused reduction per
+//     iteration whose synchronization overlaps the preconditioner apply,
+//     and a halo exchange whose in-flight window overlaps the interior SpMV
+//     (LocalSystem's interior/boundary split exists for exactly this) —
+//     plus the startup reduction, still two synchronizations per iteration
+//     counting the exchange.
+//   * comm_reduced — the communication-reduced variant (s-step flavor of
+//     the pipelined recurrence, a la Chronopoulos-Gear): the curvature term
+//     delta = (w, z) is computed at the *bottom* of the iteration, where w
+//     and z already hold the values the next iteration's top would see, and
+//     fused into the same reduction as {gamma, ||r||^2}. One all-reduce per
+//     iteration instead of two, still overlapped with the preconditioner
+//     apply. Bitwise-equal to the pipelined body (and hence, at P = 1, to
+//     pipelined_pcg) because every partial sum is taken over identical
+//     operand vectors in the identical order — only the synchronization
+//     count changes.
 //
 // SPMD invariant: every control-flow decision (convergence, breakdown) is a
 // function of all-reduced values, which the deterministic rank-order
@@ -21,7 +35,7 @@
 // block is A itself, partial sums traverse the full vector in the serial
 // order, and the reduction's T -> double -> T round trip is exact (identity
 // for double, lossless widening for float). dist_test locks this in against
-// both spcg_solve and pipelined_pcg.
+// both spcg_solve and pipelined_pcg, on every transport.
 #pragma once
 
 #include <array>
@@ -45,6 +59,37 @@
 
 namespace spcg {
 
+/// Which rank-local iteration body drives the distributed solve.
+enum class DistBody {
+  kClassic,      // solver/pcg.h recurrence, 2 all-reduces / iteration
+  kOverlapped,   // pipelined recurrence, reductions hidden behind compute
+  kCommReduced,  // pipelined recurrence, 1 fused all-reduce / iteration
+};
+
+inline const char* to_string(DistBody b) {
+  switch (b) {
+    case DistBody::kClassic: return "classic";
+    case DistBody::kOverlapped: return "overlapped";
+    case DistBody::kCommReduced: return "comm-reduced";
+  }
+  return "unknown";
+}
+
+/// Parse a CLI spelling ("classic" | "overlapped" | "comm-reduced").
+inline bool parse_dist_body(std::string_view name, DistBody* out) {
+  if (name == "classic") {
+    *out = DistBody::kClassic;
+  } else if (name == "overlapped" || name == "pipelined") {
+    *out = DistBody::kOverlapped;
+  } else if (name == "comm-reduced" || name == "comm_reduced" ||
+             name == "sstep") {
+    *out = DistBody::kCommReduced;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 /// Configuration of a distributed solve.
 struct DistOptions {
   index_t parts = 2;
@@ -52,8 +97,19 @@ struct DistOptions {
   /// Per-subdomain SPCG pipeline configuration (sparsify + ILU + executor)
   /// and the PCG options of the outer distributed iteration.
   SpcgOptions options;
-  /// Use the communication-overlapped (pipelined) solver body.
+  /// Solver body. kClassic here defers to the legacy `overlap` flag so
+  /// existing call sites keep their meaning.
+  DistBody body = DistBody::kClassic;
+  /// Legacy spelling of body = kOverlapped (honored when body is kClassic).
   bool overlap = false;
+  /// Transport backing and knobs (kind, collective timeout, injected
+  /// latency) for the rank group.
+  TransportOptions transport;
+
+  [[nodiscard]] DistBody effective_body() const {
+    if (body != DistBody::kClassic) return body;
+    return overlap ? DistBody::kOverlapped : DistBody::kClassic;
+  }
 };
 
 /// Everything a distributed solve needs before it sees a right-hand side:
@@ -105,6 +161,8 @@ struct DistSolveStats {
   std::uint64_t halo_exchanges = 0;  // exchanges issued (per rank)
   std::uint64_t halo_bytes = 0;      // gathered payload, summed over ranks
   double max_wait_seconds = 0.0;     // slowest rank's total barrier time
+  double overlap_hidden_seconds = 0.0;  // compute inside open collectives,
+                                        // summed over ranks
   /// Fraction of synchronization hidden behind compute: overlapped work /
   /// (overlapped work + barrier waits), summed over ranks. 0 for the classic
   /// body (nothing is overlapped).
@@ -185,7 +243,7 @@ void finish_rank(Communicator<T>& comm, const LocalSystem<T>& local,
                  std::span<T> w, std::span<T> halo, SolveStatus status,
                  std::int32_t iterations, std::span<T> x_global,
                  SolveResult<T>& res) {
-  auto h = comm.exchange_begin(x.data());
+  auto h = comm.exchange_begin(x);
   comm.exchange_end(h, local, halo);
   spmv(local.a_interior, x, w);
   spmv_add(local.a_boundary, std::span<const T>(halo.data(), halo.size()), w);
@@ -264,7 +322,7 @@ void dist_rank_classic(Communicator<T>& comm, const DistSetup<T>& setup,
     // hides the exchange behind the interior half instead).
     {
       Span span("halo_exchange", "dist");
-      auto h = comm.exchange_begin(p.data());
+      auto h = comm.exchange_begin(std::span<const T>(p));
       comm.exchange_end(h, local, std::span<T>(halo));
     }
     {
@@ -340,7 +398,7 @@ void dist_rank_overlapped(Communicator<T>& comm, const DistSetup<T>& setup,
 
   // Overlapped w = A z: interior SpMV runs while the halo is in flight.
   auto local_spmv_overlapped = [&](std::span<const T> in, std::span<T> out) {
-    auto h = comm.exchange_begin(in.data());
+    auto h = comm.exchange_begin(in);
     WallTimer t;
     {
       Span span("spmv", "dist");
@@ -449,7 +507,195 @@ void dist_rank_overlapped(Communicator<T>& comm, const DistSetup<T>& setup,
               std::span<T>(w), std::span<T>(halo), status, k, x_global, res);
 }
 
+/// Communication-reduced distributed PCG — the pipelined recurrence with
+/// ONE fused all-reduce per iteration.
+///
+/// Derivation: in the pipelined body, the iteration-top reduction computes
+/// delta = (w, z) and the iteration-bottom reduction computes {gamma =
+/// (r, z), ||r||^2}. Between the bottom of iteration k and the top of
+/// iteration k+1 neither w nor z changes (w is recomputed by the bottom
+/// SpMV from the already-updated z; only scalars move in between). So the
+/// bottom reduction can carry next iteration's delta as a third fused
+/// element — same partial sums over the same vectors in the same order,
+/// folded per-element in the same rank order, hence bitwise-identical
+/// scalars — and the top reduction disappears. The preconditioner apply
+/// mw = M^{-1} w moves to the bottom as well (w is final there) and
+/// overlaps the single reduction's synchronization. The startup reduction
+/// fuses {||b||^2, (r, z), ||r||^2, (w, z)} — exactly kReduceWidth wide.
+///
+/// All-reduce totals per solve: iterations + 2 (startup + one per
+/// iteration + the true-residual check), vs 2 * iterations + 3 classic.
+template <class T>
+void dist_rank_comm_reduced(Communicator<T>& comm, const DistSetup<T>& setup,
+                            std::span<const T> b, const SpcgOptions& sopt,
+                            std::span<T> x_global, SolveResult<T>& res) {
+  const index_t rank = comm.rank();
+  const LocalSystem<T>& local = setup.locals[static_cast<std::size_t>(rank)];
+  const SpcgSetup<T>& sub = *setup.subdomains[static_cast<std::size_t>(rank)];
+  const PcgOptions& opt = sopt.pcg;
+  const auto n_loc = static_cast<std::size_t>(local.rows());
+  IluApplier<T> m(sub.factors, sub.l_schedule, sub.u_schedule, sopt.executor);
+
+  const std::vector<T> b_loc = gather_local(b, local.owned);
+  std::vector<T> x(n_loc, T{0});
+  std::vector<T> r(b_loc);
+  std::vector<T> z(n_loc), w(n_loc), mw(n_loc), p(n_loc), s(n_loc), q(n_loc);
+  std::vector<T> halo(static_cast<std::size_t>(local.halo_size()));
+
+  auto local_spmv_overlapped = [&](std::span<const T> in, std::span<T> out) {
+    auto h = comm.exchange_begin(in);
+    WallTimer t;
+    {
+      Span span("spmv", "dist");
+      spmv(local.a_interior, in, out);
+    }
+    comm.note_overlap_compute(t.seconds());
+    Span span("halo_exchange", "dist");
+    comm.exchange_end(h, local, std::span<T>(halo));
+    spmv_add(local.a_boundary, std::span<const T>(halo), out);
+  };
+
+  /// The fused reduction, overlapped with mw = M^{-1} w. If apply throws
+  /// (checked executor), finish the collective first so the abort fires
+  /// outside the open window (transport contract).
+  auto reduce_overlapping_apply = [&](std::span<double> red) {
+    auto rh = comm.reduce_begin(std::span<const double>(red.data(),
+                                                        red.size()));
+    std::exception_ptr apply_error;
+    WallTimer apply_timer;
+    try {
+      m.apply(w, std::span<T>(mw));
+    } catch (...) {
+      apply_error = std::current_exception();
+    }
+    comm.note_overlap_compute(apply_timer.seconds());
+    comm.reduce_end(rh, red);
+    if (apply_error) std::rethrow_exception(apply_error);
+  };
+
+  m.apply(r, std::span<T>(z));
+  local_spmv_overlapped(std::span<const T>(z), std::span<T>(w));
+
+  // Fused startup reduction: {||b||^2, (r, z), ||r||^2, (w, z)}.
+  std::array<double, 4> red4{};
+  red4[0] = static_cast<double>(partial_sumsq(std::span<const T>(b_loc)));
+  red4[1] = static_cast<double>(
+      partial_dot(std::span<const T>(r), std::span<const T>(z)));
+  red4[2] = static_cast<double>(partial_sumsq(std::span<const T>(r)));
+  red4[3] = static_cast<double>(
+      partial_dot(std::span<const T>(w), std::span<const T>(z)));
+  reduce_overlapping_apply(std::span<double>(red4));
+  const double b_norm = norm_from_sumsq<T>(red4[0]);
+  const double target =
+      opt.relative ? opt.tolerance * (b_norm > 0.0 ? b_norm : 1.0)
+                   : opt.tolerance;
+  T gamma = static_cast<T>(red4[1]);
+  T alpha{0}, gamma_old{0};
+  double r_norm = norm_from_sumsq<T>(red4[2]);
+  double delta_d = red4[3];
+  if (rank == 0 && opt.record_history) res.residual_history.push_back(r_norm);
+
+  const bool trace_iters =
+      opt.trace_every > 0 && global_trace().enabled();
+  std::array<double, 3> red3{};
+  SolveStatus status = SolveStatus::kMaxIterations;
+  std::int32_t k = 0;
+  for (; k < opt.max_iterations; ++k) {
+    if (r_norm < target) {
+      status = SolveStatus::kConverged;
+      break;
+    }
+    const TraceSampleScope sample(trace_iters && k % opt.trace_every == 0);
+    Span iter_span("iteration", "dist");
+    iter_span.arg("k", k);
+    const T delta = static_cast<T>(delta_d);
+
+    T beta;
+    if (k == 0) {
+      beta = T{0};
+      alpha = gamma / delta;
+    } else {
+      beta = gamma / gamma_old;
+      const T denom = delta - beta * gamma / alpha;
+      if (!(denom != T{0}) || denom != denom) {
+        status = SolveStatus::kBreakdown;
+        break;
+      }
+      alpha = gamma / denom;
+    }
+    if (!(alpha == alpha)) {
+      status = SolveStatus::kBreakdown;
+      break;
+    }
+
+    xpby(std::span<const T>(z), beta, std::span<T>(p));
+    xpby(std::span<const T>(w), beta, std::span<T>(s));
+    xpby(std::span<const T>(mw), beta, std::span<T>(q));
+    axpy(alpha, std::span<const T>(p), std::span<T>(x));
+    axpy(-alpha, std::span<const T>(s), std::span<T>(r));
+    axpy(-alpha, std::span<const T>(q), std::span<T>(z));
+
+    local_spmv_overlapped(std::span<const T>(z), std::span<T>(w));
+    gamma_old = gamma;
+    // The iteration's single reduction: this iteration's {gamma, ||r||^2}
+    // plus next iteration's delta, overlapped with the apply.
+    red3[0] = static_cast<double>(
+        partial_dot(std::span<const T>(r), std::span<const T>(z)));
+    red3[1] = static_cast<double>(partial_sumsq(std::span<const T>(r)));
+    red3[2] = static_cast<double>(
+        partial_dot(std::span<const T>(w), std::span<const T>(z)));
+    reduce_overlapping_apply(std::span<double>(red3));
+    gamma = static_cast<T>(red3[0]);
+    if (gamma != gamma) {
+      status = SolveStatus::kBreakdown;
+      ++k;
+      break;
+    }
+    delta_d = red3[2];
+    r_norm = norm_from_sumsq<T>(red3[1]);
+    if (rank == 0 && opt.record_history) res.residual_history.push_back(r_norm);
+  }
+  if (status == SolveStatus::kMaxIterations && r_norm < target)
+    status = SolveStatus::kConverged;
+
+  finish_rank(comm, local, std::span<const T>(b_loc), std::span<const T>(x),
+              std::span<T>(w), std::span<T>(halo), status, k, x_global, res);
+}
+
 }  // namespace detail
+
+/// The rank-local body of one distributed solve, dispatched on
+/// DistOptions::effective_body(). Public so multi-process rank drivers
+/// (examples/spcg_dist_worker) can run one rank over a process transport.
+template <class T>
+void dist_pcg_rank(Communicator<T>& comm, const DistSetup<T>& setup,
+                   std::span<const T> b, const DistOptions& opt,
+                   std::span<T> x_global, SolveResult<T>& res) {
+  switch (opt.effective_body()) {
+    case DistBody::kOverlapped:
+      detail::dist_rank_overlapped(comm, setup, b, opt.options, x_global,
+                                   res);
+      break;
+    case DistBody::kCommReduced:
+      detail::dist_rank_comm_reduced(comm, setup, b, opt.options, x_global,
+                                     res);
+      break;
+    case DistBody::kClassic:
+      detail::dist_rank_classic(comm, setup, b, opt.options, x_global, res);
+      break;
+  }
+}
+
+/// Per-rank window sizes for the halo-exchange substrate: every rank
+/// publishes at most its owned vector.
+template <class T>
+std::vector<std::size_t> dist_window_bytes(const DistSetup<T>& setup) {
+  std::vector<std::size_t> bytes;
+  bytes.reserve(setup.locals.size());
+  for (const LocalSystem<T>& loc : setup.locals)
+    bytes.push_back(static_cast<std::size_t>(loc.rows()) * sizeof(T));
+  return bytes;
+}
 
 /// Run the distributed solve: rank 0 on the calling thread, ranks 1..P-1 on
 /// their own std::threads. A rank that throws aborts the world; the first
@@ -468,24 +714,20 @@ DistSolveResult<T> dist_pcg_solve(std::span<const T> b,
   out.solve.x.assign(b.size(), T{0});
   WallTimer timer;
 
-  CommWorld<T> world(parts);
+  const std::vector<std::size_t> window_bytes = dist_window_bytes(setup);
+  const std::unique_ptr<TransportGroup> group = make_transport_group(
+      parts, std::span<const std::size_t>(window_bytes), opt.transport);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(parts));
   std::vector<CommStats> rank_stats(static_cast<std::size_t>(parts));
   const std::span<T> x_global(out.solve.x);
 
   auto body = [&](index_t rank) {
-    Communicator<T> comm(&world, rank);
+    Communicator<T> comm(&group->transport(rank));
     Span rank_span("rank", "dist");
     rank_span.arg("rank", static_cast<std::int64_t>(rank));
-    rank_span.arg("overlap", opt.overlap);
+    rank_span.arg("body", std::string(to_string(opt.effective_body())));
     try {
-      if (opt.overlap) {
-        detail::dist_rank_overlapped(comm, setup, b, opt.options, x_global,
-                                     out.solve);
-      } else {
-        detail::dist_rank_classic(comm, setup, b, opt.options, x_global,
-                                  out.solve);
-      }
+      dist_pcg_rank(comm, setup, b, opt, x_global, out.solve);
     } catch (...) {
       errors[static_cast<std::size_t>(rank)] = std::current_exception();
       comm.abort();
@@ -527,6 +769,7 @@ DistSolveResult<T> dist_pcg_solve(std::span<const T> b,
   }
   out.stats.allreduces = rank_stats[0].allreduces;
   out.stats.halo_exchanges = rank_stats[0].halo_exchanges;
+  out.stats.overlap_hidden_seconds = hidden;
   out.stats.overlap_efficiency =
       hidden + waits > 0.0 ? hidden / (hidden + waits) : 0.0;
   out.solve_seconds = timer.seconds();

@@ -1,0 +1,265 @@
+// In-process Transport backing and the group/endpoint factories.
+//
+// The in-process backing keeps comm.h's original design: double-banked
+// per-rank reduce slots and zero-copy publication windows, one barrier phase
+// per collective. The std::barrier of the original is replaced by a
+// condition-variable phase barrier so the collective-timeout contract
+// (TransportOptions::collective_timeout_seconds) is enforceable — a rank
+// that never arrives wakes its peers with CommAborted instead of hanging
+// them forever.
+#include "dist/transport.h"
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "support/timer.h"
+
+namespace spcg {
+namespace detail {
+
+// Backing factories, defined in transport_shm.cc / transport_socket.cc.
+std::vector<std::unique_ptr<Transport>> make_shm_endpoints(
+    index_t parts, std::span<const std::size_t> window_bytes,
+    const TransportOptions& opt);
+std::unique_ptr<Transport> attach_shm_endpoint(
+    index_t rank, index_t parts, std::span<const std::size_t> window_bytes,
+    const TransportOptions& opt);
+std::vector<std::unique_ptr<Transport>> make_socket_endpoints(
+    index_t parts, std::span<const std::size_t> window_bytes,
+    const TransportOptions& opt);
+std::unique_ptr<Transport> make_socket_endpoint(
+    index_t rank, index_t parts, std::span<const std::size_t> window_bytes,
+    const TransportOptions& opt, int* bound_port);
+
+}  // namespace detail
+
+namespace {
+
+/// Shared state of one in-process group: the phase barrier plus the
+/// double-banked reduce slots and window pointers.
+struct InProcShared {
+  explicit InProcShared(index_t parts_, double timeout_)
+      : parts(parts_), timeout(timeout_) {
+    for (auto& bank : slots)
+      bank.resize(static_cast<std::size_t>(parts));
+    for (auto& bank : windows)
+      bank.assign(static_cast<std::size_t>(parts), nullptr);
+  }
+
+  index_t parts;
+  double timeout;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t phase = 0;  // completed barrier phases
+  index_t arrived = 0;      // arrivals in the current phase
+  std::atomic<bool> abort{false};
+
+  struct alignas(64) Slot {
+    std::array<double, Transport::kReduceWidth> v{};
+  };
+  std::array<std::vector<Slot>, 2> slots;            // reduce banks
+  std::array<std::vector<const void*>, 2> windows;   // exchange banks
+};
+
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(std::shared_ptr<InProcShared> shared, index_t rank)
+      : shared_(std::move(shared)), rank_(rank) {
+    SPCG_CHECK(rank >= 0 && rank < shared_->parts);
+  }
+
+  [[nodiscard]] index_t rank() const override { return rank_; }
+  [[nodiscard]] index_t size() const override { return shared_->parts; }
+
+  void barrier() override { wait_phase(arrive()); }
+
+  void reduce_begin(std::span<const double> vals) override {
+    SPCG_CHECK(vals.size() >= 1 && vals.size() <= kReduceWidth);
+    const auto bank = static_cast<std::size_t>(reduce_seq_++ & 1u);
+    auto& slot = shared_->slots[bank][static_cast<std::size_t>(rank_)];
+    for (std::size_t j = 0; j < vals.size(); ++j) slot.v[j] = vals[j];
+    reduce_bank_ = bank;
+    reduce_width_ = vals.size();
+    reduce_phase_ = arrive();
+  }
+
+  void reduce_end(std::span<double> out) override {
+    SPCG_CHECK(out.size() == reduce_width_);
+    wait_phase(reduce_phase_);
+    const auto& bank = shared_->slots[reduce_bank_];
+    for (std::size_t j = 0; j < reduce_width_; ++j) {
+      double acc = 0.0;
+      for (index_t r = 0; r < shared_->parts; ++r)
+        acc += bank[static_cast<std::size_t>(r)].v[j];
+      out[j] = acc;
+    }
+  }
+
+  void window_begin(const void* data, std::size_t bytes) override {
+    (void)bytes;  // zero-copy: the pointer itself is published
+    const auto bank = static_cast<std::size_t>(window_seq_++ & 1u);
+    shared_->windows[bank][static_cast<std::size_t>(rank_)] = data;
+    window_bank_ = bank;
+    window_phase_ = arrive();
+  }
+
+  void window_end() override { wait_phase(window_phase_); }
+
+  [[nodiscard]] const void* window(index_t r) const override {
+    return shared_->windows[window_bank_][static_cast<std::size_t>(r)];
+  }
+
+  void abort() noexcept override {
+    shared_->abort.store(true, std::memory_order_relaxed);
+    shared_->cv.notify_all();
+  }
+
+  [[nodiscard]] bool aborted() const override {
+    return shared_->abort.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Arrive at the barrier, completing the phase when last. Returns the
+  /// phase this arrival belongs to (pass to wait_phase).
+  std::uint64_t arrive() {
+    const std::lock_guard<std::mutex> lock(shared_->mu);
+    const std::uint64_t ph = shared_->phase;
+    if (++shared_->arrived >= shared_->parts) {
+      shared_->arrived = 0;
+      ++shared_->phase;
+      shared_->cv.notify_all();
+    }
+    return ph;
+  }
+
+  void wait_phase(std::uint64_t ph) {
+    WallTimer timer;
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    const auto deadline =
+        MonotonicClock::now() +
+        std::chrono::duration_cast<MonotonicClock::duration>(
+            std::chrono::duration<double>(shared_->timeout));
+    while (shared_->phase <= ph &&
+           !shared_->abort.load(std::memory_order_relaxed)) {
+      if (shared_->cv.wait_until(lock, deadline) ==
+          std::cv_status::timeout &&
+          shared_->phase <= ph &&
+          !shared_->abort.load(std::memory_order_relaxed)) {
+        // The dead-rank containment contract: mark the group aborted so
+        // every peer converges on the same failure, then give up.
+        shared_->abort.store(true, std::memory_order_relaxed);
+        shared_->cv.notify_all();
+        stats_.wait_seconds += timer.seconds();
+        throw CommAborted("collective timed out waiting for peers");
+      }
+    }
+    stats_.wait_seconds += timer.seconds();
+    if (shared_->abort.load(std::memory_order_relaxed)) throw CommAborted();
+  }
+
+  std::shared_ptr<InProcShared> shared_;
+  index_t rank_;
+  std::uint64_t reduce_seq_ = 0;
+  std::uint64_t window_seq_ = 0;
+  std::size_t reduce_bank_ = 0;
+  std::size_t reduce_width_ = 0;
+  std::uint64_t reduce_phase_ = 0;
+  std::size_t window_bank_ = 0;
+  std::uint64_t window_phase_ = 0;
+};
+
+/// Generic group over a vector of connected endpoints (any backing).
+class VectorGroup final : public TransportGroup {
+ public:
+  explicit VectorGroup(std::vector<std::unique_ptr<Transport>> endpoints)
+      : endpoints_(std::move(endpoints)) {
+    SPCG_CHECK(!endpoints_.empty());
+  }
+
+  [[nodiscard]] index_t size() const override {
+    return static_cast<index_t>(endpoints_.size());
+  }
+  [[nodiscard]] Transport& transport(index_t rank) override {
+    SPCG_CHECK(rank >= 0 && rank < size());
+    return *endpoints_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] bool aborted() const override {
+    return endpoints_[0]->aborted();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Transport>> endpoints_;
+};
+
+std::vector<std::unique_ptr<Transport>> make_inproc_endpoints(
+    index_t parts, const TransportOptions& opt) {
+  auto shared =
+      std::make_shared<InProcShared>(parts, opt.collective_timeout_seconds);
+  std::vector<std::unique_ptr<Transport>> eps;
+  eps.reserve(static_cast<std::size_t>(parts));
+  for (index_t r = 0; r < parts; ++r)
+    eps.push_back(std::make_unique<InProcTransport>(shared, r));
+  return eps;
+}
+
+std::unique_ptr<Transport> maybe_inject_latency(
+    std::unique_ptr<Transport> ep, const TransportOptions& opt) {
+  if (opt.inject_latency_us == 0) return ep;
+  return std::make_unique<InjectedLatencyTransport>(std::move(ep),
+                                                    opt.inject_latency_us);
+}
+
+}  // namespace
+
+std::unique_ptr<TransportGroup> make_transport_group(
+    index_t parts, std::span<const std::size_t> window_bytes,
+    const TransportOptions& opt) {
+  SPCG_CHECK(parts >= 1);
+  std::vector<std::unique_ptr<Transport>> eps;
+  switch (opt.kind) {
+    case TransportKind::kInProcess:
+      eps = make_inproc_endpoints(parts, opt);
+      break;
+    case TransportKind::kSharedMemory:
+      eps = detail::make_shm_endpoints(parts, window_bytes, opt);
+      break;
+    case TransportKind::kSocket:
+      eps = detail::make_socket_endpoints(parts, window_bytes, opt);
+      break;
+  }
+  if (opt.inject_latency_us > 0) {
+    for (auto& ep : eps) ep = maybe_inject_latency(std::move(ep), opt);
+  }
+  return std::make_unique<VectorGroup>(std::move(eps));
+}
+
+std::unique_ptr<Transport> make_process_transport(
+    index_t rank, index_t parts, std::span<const std::size_t> window_bytes,
+    const TransportOptions& opt, int* bound_port) {
+  SPCG_CHECK(parts >= 1);
+  SPCG_CHECK(rank >= 0 && rank < parts);
+  std::unique_ptr<Transport> ep;
+  switch (opt.kind) {
+    case TransportKind::kInProcess:
+      SPCG_CHECK_MSG(false,
+                     "in-process transport cannot span processes; use "
+                     "make_transport_group");
+      break;
+    case TransportKind::kSharedMemory:
+      SPCG_CHECK_MSG(!opt.shm_path.empty(),
+                     "multi-process shm transport needs an explicit "
+                     "TransportOptions::shm_path");
+      ep = detail::attach_shm_endpoint(rank, parts, window_bytes, opt);
+      break;
+    case TransportKind::kSocket:
+      ep = detail::make_socket_endpoint(rank, parts, window_bytes, opt,
+                                        bound_port);
+      break;
+  }
+  return maybe_inject_latency(std::move(ep), opt);
+}
+
+}  // namespace spcg

@@ -1,0 +1,272 @@
+// Pluggable cross-process transport for the distributed solver layer.
+//
+// A Transport is one rank's endpoint onto a P-rank group and carries exactly
+// the primitives a distributed PCG iteration needs, all split-phase:
+//   * reduce_begin/reduce_end — fused all-reduce of up to kReduceWidth
+//     doubles, folded in ascending rank order (the determinism contract).
+//   * window_begin/window_end/window — publish this rank's owned vector and,
+//     after the phase, read any rank's publication (the halo-exchange
+//     substrate; the typed gather lives in Communicator, dist/comm.h).
+//   * barrier, abort — synchronization and failure propagation.
+//
+// Determinism contract (every backing): the reduction result is the
+// ascending-rank-order fold of the per-rank partials, accumulated in double.
+// It is therefore (a) bitwise identical on every rank, (b) bitwise
+// reproducible run-to-run for a fixed rank count, and (c) for P == 1 equal
+// to the serial accumulation — the property behind the P=1-bitwise gates.
+// The socket transport preserves it by folding *once* (on the rank-0 hub)
+// and broadcasting the folded IEEE-754 bits verbatim.
+//
+// Abort + bounded blocking: every blocking primitive observes the group's
+// abort flag and a configurable collective timeout
+// (TransportOptions::collective_timeout_seconds). A rank that dies
+// mid-collective therefore surfaces CommAborted on its peers within the
+// timeout instead of hanging the barrier forever; a timeout itself marks the
+// group aborted so every rank converges on the same failure.
+//
+// Backings:
+//   * kInProcess    — P std::thread ranks over shared memory of one process;
+//     zero-copy windows, condition-variable phase barrier.
+//   * kSharedMemory — a POSIX shared-memory segment (file under /dev/shm)
+//     with an atomic monotonic-phase barrier; ranks may live in different
+//     processes on one host.
+//   * kSocket       — TCP star through the rank-0 hub with length-prefixed
+//     framing; ranks may be separate processes (one host or several).
+// Plus InjectedLatencyTransport, a decorator adding a configurable delay to
+// every collective so communication-reduction wins are measurable on a
+// single host.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sparse/csr.h"
+#include "support/error.h"
+
+namespace spcg {
+
+/// Thrown by collectives on ranks that observe another rank's abort (or a
+/// collective timeout); the rank launcher treats it as secondary and
+/// rethrows the originating error.
+class CommAborted : public Error {
+ public:
+  CommAborted() : Error("communicator aborted by another rank") {}
+  explicit CommAborted(const std::string& why) : Error(why) {}
+};
+
+/// Per-endpoint instrumentation, aggregated by the solver after a run.
+struct CommStats {
+  std::uint64_t allreduces = 0;
+  std::uint64_t halo_exchanges = 0;
+  std::uint64_t halo_bytes = 0;       // payload gathered by this rank
+  double wait_seconds = 0.0;          // time blocked in collective waits
+  double overlap_hidden_seconds = 0.0;  // compute done inside open collectives
+};
+
+enum class TransportKind {
+  kInProcess,     // std::thread ranks, one address space
+  kSharedMemory,  // POSIX shm segment, multi-process single-host
+  kSocket,        // TCP star via rank-0 hub, length-prefixed frames
+};
+
+inline const char* to_string(TransportKind k) {
+  switch (k) {
+    case TransportKind::kInProcess: return "inproc";
+    case TransportKind::kSharedMemory: return "shm";
+    case TransportKind::kSocket: return "socket";
+  }
+  return "unknown";
+}
+
+/// Parse a CLI spelling ("inproc" | "shm" | "socket"); false on unknown.
+inline bool parse_transport_kind(std::string_view name, TransportKind* out) {
+  if (name == "inproc" || name == "in-process" || name == "inprocess") {
+    *out = TransportKind::kInProcess;
+  } else if (name == "shm" || name == "shared-memory") {
+    *out = TransportKind::kSharedMemory;
+  } else if (name == "socket" || name == "tcp") {
+    *out = TransportKind::kSocket;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Configuration of a transport group / endpoint.
+struct TransportOptions {
+  TransportKind kind = TransportKind::kInProcess;
+  /// Upper bound on any single blocking collective wait. Exceeding it marks
+  /// the group aborted and throws CommAborted — the dead-rank containment
+  /// contract every backing honors.
+  double collective_timeout_seconds = 30.0;
+  /// When > 0, every endpoint is wrapped in InjectedLatencyTransport adding
+  /// this delay to each collective completion (models wire latency).
+  std::uint32_t inject_latency_us = 0;
+  /// kSharedMemory: segment path ("" = auto under /dev/shm, per-group).
+  /// Multi-process ranks must agree on it.
+  std::string shm_path;
+  /// kSocket: hub address. Rank 0 listens on socket_port (0 = ephemeral,
+  /// in-process groups only); workers connect to socket_host:socket_port.
+  std::string socket_host = "127.0.0.1";
+  int socket_port = 0;
+};
+
+/// One rank's endpoint. Not thread-safe; exactly one thread drives each
+/// rank, all ranks issue the same collective sequence (SPMD), and at most
+/// one collective is in flight per rank (begin/end strictly paired).
+///
+/// Buffer-reuse contract (inherited by every backing from the double-banked
+/// design): a buffer passed to window_begin must stay unmodified until after
+/// the *next* collective following window_end; a bank published to
+/// reduce_begin may be rewritten after the next collective's wait completes.
+/// Both solver bodies satisfy it because a reduction always follows an
+/// exchange before its input vector is updated.
+class Transport {
+ public:
+  /// Widest fused reduction supported ({dot, dot, norm^2, spare}).
+  static constexpr std::size_t kReduceWidth = 4;
+
+  virtual ~Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  [[nodiscard]] virtual index_t rank() const = 0;
+  [[nodiscard]] virtual index_t size() const = 0;
+
+  /// Plain synchronization point (also closes the mutation window of a
+  /// preceding exchange).
+  virtual void barrier() = 0;
+
+  /// Publish this rank's partials (1..kReduceWidth doubles) and arrive at
+  /// the collective. Compute placed before reduce_end overlaps the other
+  /// ranks' arrival.
+  virtual void reduce_begin(std::span<const double> vals) = 0;
+  /// Wait for every rank and write the rank-order fold; out.size() must
+  /// equal the width passed to reduce_begin.
+  virtual void reduce_end(std::span<double> out) = 0;
+
+  /// Publish `bytes` bytes of this rank's owned data and arrive. The data
+  /// must stay valid and unmodified per the buffer-reuse contract above.
+  virtual void window_begin(const void* data, std::size_t bytes) = 0;
+  /// Wait for all publications of the collective.
+  virtual void window_end() = 0;
+  /// Rank r's publication from the last completed window collective; valid
+  /// until this rank begins its next collective.
+  [[nodiscard]] virtual const void* window(index_t r) const = 0;
+
+  /// Mark the group aborted and unblock peers; they throw CommAborted at
+  /// their next (or current) collective wait. Call from the rank's top-level
+  /// catch, outside any begin/end pair.
+  virtual void abort() noexcept = 0;
+  [[nodiscard]] virtual bool aborted() const = 0;
+
+  [[nodiscard]] virtual const CommStats& stats() const { return stats_; }
+  [[nodiscard]] virtual CommStats& mutable_stats() { return stats_; }
+
+ protected:
+  Transport() = default;
+  CommStats stats_;
+};
+
+/// A connected group of P endpoints in one process (ranks driven by
+/// std::threads). For multi-process groups each process instead builds its
+/// single endpoint via make_process_transport below.
+class TransportGroup {
+ public:
+  virtual ~TransportGroup() = default;
+  TransportGroup(const TransportGroup&) = delete;
+  TransportGroup& operator=(const TransportGroup&) = delete;
+
+  [[nodiscard]] virtual index_t size() const = 0;
+  [[nodiscard]] virtual Transport& transport(index_t rank) = 0;
+  [[nodiscard]] virtual bool aborted() const = 0;
+
+ protected:
+  TransportGroup() = default;
+};
+
+/// Build an in-process group of `parts` connected endpoints of opt.kind.
+/// `window_bytes` gives each rank's maximum window publication in bytes
+/// (ignored by kInProcess, which publishes zero-copy; sizing for the shm
+/// segment and socket frames otherwise). Endpoints are wrapped in
+/// InjectedLatencyTransport when opt.inject_latency_us > 0.
+std::unique_ptr<TransportGroup> make_transport_group(
+    index_t parts, std::span<const std::size_t> window_bytes,
+    const TransportOptions& opt = {});
+
+/// Build this process's single endpoint of a multi-process group (kind must
+/// be kSharedMemory or kSocket). Every process must pass identical `parts`,
+/// `window_bytes` and rendezvous options (shm_path / socket host+port).
+/// Rank 0 creates the rendezvous (shm segment / listening socket); other
+/// ranks attach with retry until the collective timeout. For kSocket with
+/// socket_port == 0, rank 0 binds an ephemeral port reported via
+/// `bound_port` (the caller must communicate it to the workers out of band).
+std::unique_ptr<Transport> make_process_transport(
+    index_t rank, index_t parts, std::span<const std::size_t> window_bytes,
+    const TransportOptions& opt, int* bound_port = nullptr);
+
+/// Decorator adding a fixed delay to every collective completion — models
+/// wire latency so communication-reduced solver bodies show measurable wins
+/// on one host. The delay is accounted as wait time in the inner endpoint's
+/// CommStats.
+class InjectedLatencyTransport final : public Transport {
+ public:
+  InjectedLatencyTransport(std::unique_ptr<Transport> inner,
+                           std::uint32_t delay_us)
+      : inner_(std::move(inner)), delay_us_(delay_us) {
+    SPCG_CHECK(inner_ != nullptr);
+  }
+
+  [[nodiscard]] index_t rank() const override { return inner_->rank(); }
+  [[nodiscard]] index_t size() const override { return inner_->size(); }
+
+  void barrier() override {
+    inject();
+    inner_->barrier();
+  }
+  void reduce_begin(std::span<const double> vals) override {
+    inner_->reduce_begin(vals);
+  }
+  void reduce_end(std::span<double> out) override {
+    inject();
+    inner_->reduce_end(out);
+  }
+  void window_begin(const void* data, std::size_t bytes) override {
+    inner_->window_begin(data, bytes);
+  }
+  void window_end() override {
+    inject();
+    inner_->window_end();
+  }
+  [[nodiscard]] const void* window(index_t r) const override {
+    return inner_->window(r);
+  }
+  void abort() noexcept override { inner_->abort(); }
+  [[nodiscard]] bool aborted() const override { return inner_->aborted(); }
+  [[nodiscard]] const CommStats& stats() const override {
+    return inner_->stats();
+  }
+  [[nodiscard]] CommStats& mutable_stats() override {
+    return inner_->mutable_stats();
+  }
+
+ private:
+  void inject() {
+    if (delay_us_ == 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us_));
+    inner_->mutable_stats().wait_seconds +=
+        static_cast<double>(delay_us_) * 1e-6;
+  }
+
+  std::unique_ptr<Transport> inner_;
+  std::uint32_t delay_us_;
+};
+
+}  // namespace spcg

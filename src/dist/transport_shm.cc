@@ -1,0 +1,337 @@
+// POSIX shared-memory Transport backing: multi-process ranks on one host.
+//
+// The group's state lives in one mmap'ed file (by default under /dev/shm —
+// tmpfs, so a plain open()+mmap(MAP_SHARED) is the shm_open() layout without
+// a librt dependency): a header with the barrier atomics, then the
+// double-banked reduce slots, then the double-banked per-rank window
+// regions. Every rank computes the identical layout from (parts,
+// window_bytes), so offsets need no negotiation.
+//
+// Barrier: a monotonic arrival counter. The k-th arrival overall belongs to
+// phase (k-1)/P; the P-th arrival of a phase publishes phase+1. The counter
+// is never reset, so late arrivals for the next phase cannot race a reset.
+// Release/acquire on the counter and the phase word make each rank's slot
+// and window writes visible to every reader of the completed phase. Waiters
+// spin (with yields) against the phase word, observing the abort flag and
+// the collective timeout — a dead rank turns into CommAborted on its peers
+// within the deadline, never a forever-spin.
+//
+// Same-host, same-ABI only: raw doubles and bytes are shared in place, and
+// std::atomic on the mapped words requires lock-free atomics (asserted).
+#include "dist/transport.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+
+#include "support/timer.h"
+
+namespace spcg {
+namespace detail {
+namespace {
+
+constexpr std::uint64_t kShmMagic = 0x53504347'53484d31ull;  // "SPCG" "SHM1"
+
+struct ShmHeader {
+  std::atomic<std::uint64_t> magic;     // kShmMagic once fully initialized
+  std::uint64_t total_bytes = 0;
+  std::uint32_t parts = 0;
+  std::uint32_t pad = 0;
+  std::atomic<std::uint64_t> arrivals;  // monotonic, never reset
+  std::atomic<std::uint64_t> phase;     // completed barrier phases
+  std::atomic<std::uint32_t> abort;
+};
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<std::uint32_t>::is_always_lock_free,
+              "shm transport needs lock-free atomics on the mapped words");
+
+constexpr std::size_t align64(std::size_t n) { return (n + 63) & ~std::size_t{63}; }
+
+/// Deterministic layout: header | slots (2 banks x P x 64B) | windows
+/// (2 banks x per-rank 64B-aligned regions).
+struct ShmLayout {
+  std::size_t slot_offset = 0;
+  std::size_t window_offset = 0;           // bank 0
+  std::size_t window_bank_stride = 0;      // bank 1 = bank 0 + stride
+  std::vector<std::size_t> rank_offset;    // within a bank
+  std::vector<std::size_t> rank_bytes;     // caller-declared maxima
+  std::size_t total = 0;
+
+  ShmLayout(index_t parts, std::span<const std::size_t> window_bytes) {
+    slot_offset = align64(sizeof(ShmHeader));
+    const std::size_t slot_bytes =
+        2u * static_cast<std::size_t>(parts) * 64u;
+    window_offset = slot_offset + slot_bytes;
+    rank_offset.resize(static_cast<std::size_t>(parts));
+    rank_bytes.resize(static_cast<std::size_t>(parts));
+    std::size_t off = 0;
+    for (index_t r = 0; r < parts; ++r) {
+      rank_offset[static_cast<std::size_t>(r)] = off;
+      const std::size_t bytes =
+          window_bytes.empty()
+              ? 0
+              : window_bytes[static_cast<std::size_t>(r)];
+      rank_bytes[static_cast<std::size_t>(r)] = bytes;
+      off += align64(bytes);
+    }
+    window_bank_stride = off;
+    total = window_offset + 2u * window_bank_stride;
+  }
+};
+
+/// One mapping of the segment. In-process groups share one ShmSegment via
+/// shared_ptr; multi-process ranks each hold their own mapping of the file.
+class ShmSegment {
+ public:
+  static std::shared_ptr<ShmSegment> create(const std::string& path,
+                                            index_t parts,
+                                            std::size_t total_bytes) {
+    auto seg = std::make_shared<ShmSegment>();
+    seg->path_ = path;
+    seg->owner_ = true;
+    seg->fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0600);
+    SPCG_CHECK_MSG(seg->fd_ >= 0, "cannot create shm segment " << path);
+    SPCG_CHECK_MSG(::ftruncate(seg->fd_, static_cast<off_t>(total_bytes)) == 0,
+                   "cannot size shm segment " << path);
+    seg->map(total_bytes);
+    auto* hdr = new (seg->base_) ShmHeader{};
+    hdr->total_bytes = total_bytes;
+    hdr->parts = static_cast<std::uint32_t>(parts);
+    hdr->arrivals.store(0, std::memory_order_relaxed);
+    hdr->phase.store(0, std::memory_order_relaxed);
+    hdr->abort.store(0, std::memory_order_relaxed);
+    hdr->magic.store(kShmMagic, std::memory_order_release);  // ready flag
+    return seg;
+  }
+
+  static std::shared_ptr<ShmSegment> attach(const std::string& path,
+                                            index_t parts,
+                                            std::size_t total_bytes,
+                                            double timeout_seconds) {
+    auto seg = std::make_shared<ShmSegment>();
+    seg->path_ = path;
+    WallTimer timer;
+    for (;;) {
+      if (seg->fd_ < 0) seg->fd_ = ::open(path.c_str(), O_RDWR);
+      if (seg->fd_ >= 0) {
+        struct stat st{};
+        if (::fstat(seg->fd_, &st) == 0 &&
+            static_cast<std::size_t>(st.st_size) >= total_bytes) {
+          if (seg->base_ == nullptr) seg->map(total_bytes);
+          const auto* hdr = static_cast<const ShmHeader*>(seg->base_);
+          if (hdr->magic.load(std::memory_order_acquire) == kShmMagic) {
+            SPCG_CHECK_MSG(hdr->parts == static_cast<std::uint32_t>(parts) &&
+                               hdr->total_bytes == total_bytes,
+                           "shm segment " << path
+                                          << " was created for a different "
+                                             "group shape");
+            return seg;
+          }
+        }
+      }
+      if (timer.seconds() > timeout_seconds)
+        throw CommAborted("timed out attaching shm segment " + path);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  ShmSegment() = default;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  ~ShmSegment() {
+    if (base_ != nullptr) ::munmap(base_, bytes_);
+    if (fd_ >= 0) ::close(fd_);
+    if (owner_) ::unlink(path_.c_str());
+  }
+
+  [[nodiscard]] ShmHeader* header() const {
+    return static_cast<ShmHeader*>(base_);
+  }
+  [[nodiscard]] std::uint8_t* bytes() const {
+    return static_cast<std::uint8_t*>(base_);
+  }
+
+ private:
+  void map(std::size_t total_bytes) {
+    bytes_ = total_bytes;
+    base_ = ::mmap(nullptr, total_bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                   fd_, 0);
+    SPCG_CHECK_MSG(base_ != MAP_FAILED, "cannot map shm segment " << path_);
+  }
+
+  std::string path_;
+  int fd_ = -1;
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool owner_ = false;
+};
+
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(std::shared_ptr<ShmSegment> seg, ShmLayout layout,
+               index_t rank, index_t parts, double timeout)
+      : seg_(std::move(seg)), layout_(std::move(layout)), rank_(rank),
+        parts_(parts), timeout_(timeout) {}
+
+  [[nodiscard]] index_t rank() const override { return rank_; }
+  [[nodiscard]] index_t size() const override { return parts_; }
+
+  void barrier() override { wait_phase(arrive()); }
+
+  void reduce_begin(std::span<const double> vals) override {
+    SPCG_CHECK(vals.size() >= 1 && vals.size() <= kReduceWidth);
+    const auto bank = static_cast<std::size_t>(reduce_seq_++ & 1u);
+    double* slot = slot_ptr(bank, rank_);
+    for (std::size_t j = 0; j < vals.size(); ++j) slot[j] = vals[j];
+    reduce_bank_ = bank;
+    reduce_width_ = vals.size();
+    reduce_phase_ = arrive();
+  }
+
+  void reduce_end(std::span<double> out) override {
+    SPCG_CHECK(out.size() == reduce_width_);
+    wait_phase(reduce_phase_);
+    for (std::size_t j = 0; j < reduce_width_; ++j) {
+      double acc = 0.0;
+      for (index_t r = 0; r < parts_; ++r)
+        acc += slot_ptr(reduce_bank_, r)[j];
+      out[j] = acc;
+    }
+  }
+
+  void window_begin(const void* data, std::size_t bytes) override {
+    SPCG_CHECK_MSG(
+        bytes <= layout_.rank_bytes[static_cast<std::size_t>(rank_)],
+        "window publication exceeds the declared window_bytes");
+    const auto bank = static_cast<std::size_t>(window_seq_++ & 1u);
+    if (bytes > 0) std::memcpy(window_ptr(bank, rank_), data, bytes);
+    window_bank_ = bank;
+    window_phase_ = arrive();
+  }
+
+  void window_end() override { wait_phase(window_phase_); }
+
+  [[nodiscard]] const void* window(index_t r) const override {
+    return window_ptr(window_bank_, r);
+  }
+
+  void abort() noexcept override {
+    seg_->header()->abort.store(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool aborted() const override {
+    return seg_->header()->abort.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  [[nodiscard]] double* slot_ptr(std::size_t bank, index_t r) const {
+    return reinterpret_cast<double*>(
+        seg_->bytes() + layout_.slot_offset +
+        (bank * static_cast<std::size_t>(parts_) +
+         static_cast<std::size_t>(r)) *
+            64u);
+  }
+
+  [[nodiscard]] std::uint8_t* window_ptr(std::size_t bank, index_t r) const {
+    return seg_->bytes() + layout_.window_offset +
+           bank * layout_.window_bank_stride +
+           layout_.rank_offset[static_cast<std::size_t>(r)];
+  }
+
+  std::uint64_t arrive() {
+    ShmHeader* hdr = seg_->header();
+    // acq_rel: release this rank's slot/window writes into the counter's
+    // modification order; the phase publication below carries them to
+    // every waiter.
+    const std::uint64_t count =
+        hdr->arrivals.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const std::uint64_t ph = (count - 1) / static_cast<std::uint64_t>(parts_);
+    if (count % static_cast<std::uint64_t>(parts_) == 0)
+      hdr->phase.store(ph + 1, std::memory_order_release);
+    return ph;
+  }
+
+  void wait_phase(std::uint64_t ph) {
+    ShmHeader* hdr = seg_->header();
+    WallTimer timer;
+    int spins = 0;
+    while (hdr->phase.load(std::memory_order_acquire) <= ph) {
+      if (hdr->abort.load(std::memory_order_relaxed) != 0) {
+        stats_.wait_seconds += timer.seconds();
+        throw CommAborted();
+      }
+      if (timer.seconds() > timeout_) {
+        hdr->abort.store(1, std::memory_order_relaxed);
+        stats_.wait_seconds += timer.seconds();
+        throw CommAborted("collective timed out waiting for peers");
+      }
+      if (++spins > 1024) std::this_thread::yield();
+    }
+    stats_.wait_seconds += timer.seconds();
+    if (hdr->abort.load(std::memory_order_relaxed) != 0) throw CommAborted();
+  }
+
+  std::shared_ptr<ShmSegment> seg_;
+  ShmLayout layout_;
+  index_t rank_;
+  index_t parts_;
+  double timeout_;
+  std::uint64_t reduce_seq_ = 0;
+  std::uint64_t window_seq_ = 0;
+  std::size_t reduce_bank_ = 0;
+  std::size_t reduce_width_ = 0;
+  std::uint64_t reduce_phase_ = 0;
+  std::size_t window_bank_ = 0;
+  std::uint64_t window_phase_ = 0;
+};
+
+std::string auto_segment_path() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  const char* dir = ::access("/dev/shm", W_OK) == 0 ? "/dev/shm" : "/tmp";
+  return std::string(dir) + "/spcg-shm." +
+         std::to_string(static_cast<std::uint64_t>(::getpid())) + "." +
+         std::to_string(id);
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<Transport>> make_shm_endpoints(
+    index_t parts, std::span<const std::size_t> window_bytes,
+    const TransportOptions& opt) {
+  SPCG_CHECK(window_bytes.empty() ||
+             static_cast<index_t>(window_bytes.size()) == parts);
+  const ShmLayout layout(parts, window_bytes);
+  const std::string path =
+      opt.shm_path.empty() ? auto_segment_path() : opt.shm_path;
+  auto seg = ShmSegment::create(path, parts, layout.total);
+  std::vector<std::unique_ptr<Transport>> eps;
+  eps.reserve(static_cast<std::size_t>(parts));
+  for (index_t r = 0; r < parts; ++r)
+    eps.push_back(std::make_unique<ShmTransport>(
+        seg, layout, r, parts, opt.collective_timeout_seconds));
+  return eps;
+}
+
+std::unique_ptr<Transport> attach_shm_endpoint(
+    index_t rank, index_t parts, std::span<const std::size_t> window_bytes,
+    const TransportOptions& opt) {
+  SPCG_CHECK(window_bytes.empty() ||
+             static_cast<index_t>(window_bytes.size()) == parts);
+  const ShmLayout layout(parts, window_bytes);
+  std::shared_ptr<ShmSegment> seg =
+      rank == 0 ? ShmSegment::create(opt.shm_path, parts, layout.total)
+                : ShmSegment::attach(opt.shm_path, parts, layout.total,
+                                     opt.collective_timeout_seconds);
+  return std::make_unique<ShmTransport>(std::move(seg), layout, rank, parts,
+                                        opt.collective_timeout_seconds);
+}
+
+}  // namespace detail
+}  // namespace spcg

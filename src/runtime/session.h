@@ -7,6 +7,13 @@
 // every subsequent solve reuses it for any number of right-hand sides,
 // individually or as a fused multi-RHS batch.
 //
+// Opt-in transient fast path (`allow_pattern_refresh`): when the exact cache
+// key misses but a same-pattern setup is resident (a values-only change),
+// construction clones that donor's symbolic artifacts and refreshes the
+// numerics in place (transient/refactorize.h) instead of running a cold
+// spcg_setup. The refreshed setup stays private to the session and is never
+// inserted back into the cache.
+//
 // Thread safety: solve() and solve_batch() are const and allocate their own
 // scratch (each solve builds a fresh IluApplier over the shared immutable
 // factors), so one session may serve many threads concurrently.
@@ -27,6 +34,7 @@
 #include "runtime/setup_cache.h"
 #include "support/timer.h"
 #include "support/trace.h"
+#include "transient/refactorize.h"
 
 namespace spcg {
 
@@ -53,17 +61,23 @@ template <class T>
 class SolverSession {
  public:
   /// Share ownership of the matrix (the usual service path).
+  /// `allow_pattern_refresh` arms the same-pattern numeric-refresh fast path
+  /// described above.
   SolverSession(std::shared_ptr<const Csr<T>> a, SpcgOptions opt,
-                std::shared_ptr<SetupCache<T>> cache = nullptr)
-      : a_(std::move(a)), opt_(std::move(opt)), cache_(std::move(cache)) {
+                std::shared_ptr<SetupCache<T>> cache = nullptr,
+                bool allow_pattern_refresh = false)
+      : a_(std::move(a)), opt_(std::move(opt)), cache_(std::move(cache)),
+        allow_pattern_refresh_(allow_pattern_refresh) {
     init(fingerprint_traced());
   }
 
   /// Borrow a caller-owned matrix (must outlive the session).
   SolverSession(const Csr<T>& a, SpcgOptions opt,
-                std::shared_ptr<SetupCache<T>> cache = nullptr)
+                std::shared_ptr<SetupCache<T>> cache = nullptr,
+                bool allow_pattern_refresh = false)
       : SolverSession(std::shared_ptr<const Csr<T>>(&a, [](const Csr<T>*) {}),
-                      std::move(opt), std::move(cache)) {}
+                      std::move(opt), std::move(cache),
+                      allow_pattern_refresh) {}
 
   /// Borrow with a precomputed fingerprint, so callers probing several
   /// option sets against one matrix (select_best_fill_level) hash it once.
@@ -84,6 +98,11 @@ class SolverSession {
   /// Whether construction found the setup in the cache (false when built,
   /// or when the session has no cache).
   [[nodiscard]] bool setup_cache_hit() const { return cache_hit_; }
+  /// Whether construction took the same-pattern fast path: symbolic
+  /// artifacts cloned from a resident donor, numerics refreshed in place.
+  [[nodiscard]] bool setup_pattern_refreshed() const {
+    return pattern_refreshed_;
+  }
 
   /// Debug verification knob: verifies the shared setup artifacts end to
   /// end immediately (throwing spcg::Error with the report when any
@@ -218,6 +237,30 @@ class SolverSession {
   void init(const MatrixFingerprint& fp) {
     const SetupKey key = make_setup_key(fp, opt_);
     if (cache_) {
+      if (allow_pattern_refresh_) {
+        if (auto exact = cache_->lookup(key)) {
+          cache_hit_ = true;
+          setup_ = std::move(exact);
+          return;
+        }
+        if (auto donor = cache_->lookup_same_pattern(key)) {
+          // Values-only change: clone the donor's artifacts and refresh the
+          // numerics. Private to this session — never re-inserted into the
+          // cache (lookup_same_pattern contract).
+          Span span("setup.pattern_refresh", "runtime");
+          WallTimer timer;
+          auto refreshed = std::make_shared<SolverSetup<T>>();
+          refreshed->key = key;
+          refreshed->artifacts = donor->artifacts;
+          NumericRefreshWorkspace ws =
+              build_numeric_refresh(refreshed->artifacts, *a_);
+          refresh_setup_numerics(refreshed->artifacts, *a_, opt_, ws);
+          refreshed->build_seconds = timer.seconds();
+          pattern_refreshed_ = true;
+          setup_ = std::move(refreshed);
+          return;
+        }
+      }
       setup_ = cache_->get_or_build(
           key, [&] { return spcg_setup(*a_, opt_); }, &cache_hit_);
     } else {
@@ -235,6 +278,8 @@ class SolverSession {
   std::shared_ptr<SetupCache<T>> cache_;
   std::shared_ptr<const SolverSetup<T>> setup_;
   bool cache_hit_ = false;
+  bool allow_pattern_refresh_ = false;
+  bool pattern_refreshed_ = false;
   std::optional<analysis::VerifyOptions> verify_;
 };
 

@@ -55,6 +55,12 @@ struct ServiceRequest {
   index_t parts = 1;
   PartitionOptions partition;  // partitioning strategy when parts > 1
   bool overlap_comm = false;   // communication-overlapped distributed body
+  /// Communication-reduced distributed body (one fused all-reduce per
+  /// iteration); takes precedence over overlap_comm.
+  bool comm_reduced = false;
+  /// Transport backing for distributed requests (kind, collective timeout,
+  /// injected latency).
+  TransportOptions transport;
   /// Let the service's Tuner pick the configuration: `options` contributes
   /// the solve-phase knobs (tolerances, pivot handling), the tuned winner
   /// overrides the setup-phase ones (sparsify / preconditioner / executor).
@@ -88,6 +94,9 @@ struct ServiceReply {
   std::string fallback_reason;     // why the primary attempt was abandoned
   std::string error;               // failure detail when status == kFailed
   bool setup_cache_hit = false;    // setup of the *answering* attempt
+  /// The answering setup came from the same-pattern fast path (symbolic
+  /// artifacts reused, numerics refreshed) rather than an exact hit/build.
+  bool setup_pattern_refreshed = false;
   double queue_seconds = 0.0;      // submission -> worker pickup
   double solve_seconds = 0.0;      // PCG wall clock of the answering attempt
   std::shared_ptr<const SolverSetup<T>> setup;  // shared artifacts (if any)
@@ -314,10 +323,13 @@ class SolveService {
         dopt.partition = job.request.partition;
         dopt.options = job.request.options;
         dopt.overlap = job.request.overlap_comm;
+        if (job.request.comm_reduced) dopt.body = DistBody::kCommReduced;
+        dopt.transport = job.request.transport;
         DistSolverSession<T> session(job.request.a, dopt, cache_, &telemetry_);
         DistSolveResult<T> run = session.solve(job.request.b);
         reply.setup_cache_hit =
             session.subdomain_cache_hits() == session.parts();
+        reply.setup_pattern_refreshed = session.subdomain_partial_hits() > 0;
         reply.solve_seconds = run.solve_seconds;
         if (run.solve.converged()) {
           reply.status = RequestStatus::kOk;
@@ -364,9 +376,11 @@ class SolveService {
         reply.fallback_reason = std::string("tuned config ") +
                                 reply.tuned_config + " did not converge";
       } else {
-        SolverSession<T> session(job.request.a, job.request.options, cache_);
+        SolverSession<T> session(job.request.a, job.request.options, cache_,
+                                 /*allow_pattern_refresh=*/true);
         SessionSolveResult<T> run = session.solve(job.request.b);
         reply.setup_cache_hit = session.setup_cache_hit();
+        reply.setup_pattern_refreshed = session.setup_pattern_refreshed();
         reply.setup = session.shared_setup();
         reply.solve_seconds = run.solve_seconds;
         if (run.solve.converged() || !job.request.options.sparsify_enabled) {

@@ -1,13 +1,20 @@
 // Tests for the distributed layer (src/dist/): partition invariants and
 // exact matrix reconstruction, communicator determinism and abort handling
 // (DistComm/DistHalo run real concurrent ranks — the TSan CI job targets
-// them), 0-ULP distributed reductions against the serial oracle, and the
-// distributed solver's bitwise P=1 equality plus multi-part convergence.
+// them), 0-ULP distributed reductions against the serial oracle, the
+// distributed solver's bitwise P=1 equality plus multi-part convergence,
+// the transport conformance suite (the same determinism / abort / halo /
+// bitwise contracts run against every Transport backing), and a forked
+// two-process socket smoke test.
 #include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <exception>
 #include <span>
 #include <stdexcept>
@@ -254,7 +261,7 @@ TEST(DistHalo, ExchangeGathersNeighborValuesAcrossRounds) {
         x[static_cast<std::size_t>(l)] =
             1000.0 * round +
             static_cast<double>(loc.owned[static_cast<std::size_t>(l)]);
-      auto h = comm.exchange_begin(x.data());
+      auto h = comm.exchange_begin(std::span<const double>(x));
       comm.exchange_end(h, loc, std::span<double>(halo));
       for (index_t s = 0; s < loc.halo_size(); ++s) {
         EXPECT_EQ(halo[static_cast<std::size_t>(s)],
@@ -269,6 +276,323 @@ TEST(DistHalo, ExchangeGathersNeighborValuesAcrossRounds) {
     }
   });
   for (const auto& e : errors) EXPECT_FALSE(e);
+}
+
+// ---------------------------------------------------------------------------
+// TransportConformance — the same contracts against every backing
+
+/// Run `fn(comm)` on the ranks of an explicit transport group.
+template <class Fn>
+std::vector<std::exception_ptr> run_group(TransportGroup& group, Fn fn) {
+  const index_t parts = group.size();
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(parts));
+  auto body = [&](index_t rank) {
+    Communicator<double> comm(&group.transport(rank));
+    try {
+      fn(comm);
+    } catch (...) {
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      comm.abort();
+    }
+  };
+  std::vector<std::thread> threads;
+  for (index_t r = 1; r < parts; ++r) threads.emplace_back(body, r);
+  body(0);
+  for (std::thread& t : threads) t.join();
+  return errors;
+}
+
+class TransportConformance : public ::testing::TestWithParam<TransportKind> {
+ protected:
+  [[nodiscard]] TransportOptions options(double timeout = 30.0) const {
+    TransportOptions opt;
+    opt.kind = GetParam();
+    opt.collective_timeout_seconds = timeout;
+    return opt;
+  }
+};
+
+TEST_P(TransportConformance, AllreduceIsDeterministicRankOrderSum) {
+  constexpr index_t kParts = 4;
+  constexpr int kRounds = 10;
+  std::vector<double> expected;
+  for (int i = 0; i < kRounds; ++i) {
+    double acc = 0.0;
+    for (index_t r = 0; r < kParts; ++r)
+      acc += 0.1 * static_cast<double>(r + 1) + static_cast<double>(i);
+    expected.push_back(acc);
+  }
+  for (int run = 0; run < 2; ++run) {  // run-to-run reproducibility
+    auto group = make_transport_group(kParts, {}, options());
+    std::array<std::vector<double>, kParts> got;
+    auto errors = run_group(*group, [&](Communicator<double>& comm) {
+      for (int i = 0; i < kRounds; ++i) {
+        const double v = 0.1 * static_cast<double>(comm.rank() + 1) +
+                         static_cast<double>(i);
+        got[static_cast<std::size_t>(comm.rank())].push_back(
+            comm.allreduce1(v));
+      }
+    });
+    for (const auto& e : errors) EXPECT_FALSE(e);
+    for (index_t r = 0; r < kParts; ++r) {
+      ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(got[static_cast<std::size_t>(r)][i], expected[i]);  // bits
+    }
+  }
+}
+
+TEST_P(TransportConformance, SplitPhaseReduceOverlapsComputeAndStaysCorrect) {
+  constexpr index_t kParts = 3;
+  auto group = make_transport_group(kParts, {}, options());
+  auto errors = run_group(*group, [&](Communicator<double>& comm) {
+    for (int i = 0; i < 5; ++i) {
+      std::array<double, 2> vals{static_cast<double>(comm.rank()),
+                                 static_cast<double>(i)};
+      auto h = comm.reduce_begin(std::span<const double>(vals));
+      volatile double sink = 0.0;
+      for (int j = 0; j < 1000; ++j) sink = sink + 1.0;
+      std::array<double, 2> out{};
+      comm.reduce_end(h, std::span<double>(out));
+      EXPECT_EQ(out[0], 0.0 + 1.0 + 2.0);
+      EXPECT_EQ(out[1], 3.0 * static_cast<double>(i));
+    }
+  });
+  for (const auto& e : errors) EXPECT_FALSE(e);
+}
+
+TEST_P(TransportConformance, HaloExchangeGathersNeighborValuesAcrossRounds) {
+  const Csr<double> a = gen_poisson2d(12, 12);
+  constexpr index_t kParts = 3;
+  const Partition part = make_partition(a, kParts);
+  const auto locals = build_local_systems(a, part);
+  std::vector<std::size_t> window_bytes;
+  for (const LocalSystem<double>& loc : locals)
+    window_bytes.push_back(static_cast<std::size_t>(loc.rows()) *
+                           sizeof(double));
+
+  auto group = make_transport_group(
+      kParts, std::span<const std::size_t>(window_bytes), options());
+  auto errors = run_group(*group, [&](Communicator<double>& comm) {
+    const LocalSystem<double>& loc =
+        locals[static_cast<std::size_t>(comm.rank())];
+    std::vector<double> x(static_cast<std::size_t>(loc.rows()));
+    std::vector<double> halo(static_cast<std::size_t>(loc.halo_size()));
+    for (int round = 0; round < 10; ++round) {
+      for (index_t l = 0; l < loc.rows(); ++l)
+        x[static_cast<std::size_t>(l)] =
+            1000.0 * round +
+            static_cast<double>(loc.owned[static_cast<std::size_t>(l)]);
+      auto h = comm.exchange_begin(std::span<const double>(x));
+      comm.exchange_end(h, loc, std::span<double>(halo));
+      for (index_t s = 0; s < loc.halo_size(); ++s) {
+        EXPECT_EQ(halo[static_cast<std::size_t>(s)],
+                  1000.0 * round +
+                      static_cast<double>(
+                          loc.halo[static_cast<std::size_t>(s)]));
+      }
+      const double sum = comm.allreduce1(static_cast<double>(round));
+      EXPECT_EQ(sum, static_cast<double>(kParts) * round);
+    }
+  });
+  for (const auto& e : errors) EXPECT_FALSE(e);
+}
+
+TEST_P(TransportConformance, AbortOnOneRankPropagatesToAll) {
+  constexpr index_t kParts = 3;
+  auto group = make_transport_group(kParts, {}, options());
+  auto errors = run_group(*group, [&](Communicator<double>& comm) {
+    for (int i = 0; i < 10; ++i) {
+      if (comm.rank() == 1 && i == 5) throw std::runtime_error("rank fault");
+      comm.allreduce1(1.0);
+    }
+  });
+  ASSERT_TRUE(errors[1]);
+  EXPECT_THROW(std::rethrow_exception(errors[1]), std::runtime_error);
+  for (const index_t r : {0, 2}) {
+    ASSERT_TRUE(errors[static_cast<std::size_t>(r)]);
+    EXPECT_THROW(std::rethrow_exception(errors[static_cast<std::size_t>(r)]),
+                 CommAborted);
+  }
+  EXPECT_TRUE(group->aborted());
+}
+
+TEST_P(TransportConformance, DeadRankSurfacesCommAbortedWithinTimeout) {
+  // Rank 1 "dies" (returns without ever arriving); rank 0's collective must
+  // end in CommAborted within the configured timeout, not hang forever.
+  auto group = make_transport_group(2, {}, options(/*timeout=*/0.5));
+  WallTimer timer;
+  auto errors = run_group(*group, [&](Communicator<double>& comm) {
+    if (comm.rank() == 1) return;  // never participates
+    comm.allreduce1(1.0);
+  });
+  EXPECT_LT(timer.seconds(), 10.0);  // bounded, way under a hang
+  ASSERT_TRUE(errors[0]);
+  EXPECT_THROW(std::rethrow_exception(errors[0]), CommAborted);
+  EXPECT_TRUE(group->aborted());
+}
+
+TEST_P(TransportConformance, SolveP1ClassicIsBitwiseEqualToSpcgSolve) {
+  const Csr<double> a = gen_poisson2d(16, 16);
+  const std::vector<double> b = make_rhs(a, 5);
+  SpcgOptions opt = fast_options();
+  opt.pcg.record_history = true;
+  const SpcgResult<double> serial = spcg_solve(a, b, opt);
+
+  DistOptions dopt;
+  dopt.parts = 1;
+  dopt.options = opt;
+  dopt.transport.kind = GetParam();
+  const DistSolveResult<double> dist =
+      dist_pcg_solve(b, dist_setup(a, dopt), dopt);
+  EXPECT_EQ(dist.solve.iterations, serial.solve.iterations);
+  EXPECT_EQ(dist.solve.x, serial.solve.x);  // bitwise
+  EXPECT_EQ(dist.solve.residual_history, serial.solve.residual_history);
+}
+
+TEST_P(TransportConformance, SolveP1CommReducedIsBitwiseEqualToPipelined) {
+  const Csr<double> a = gen_poisson2d(16, 16);
+  const std::vector<double> b = make_rhs(a, 7);
+  SpcgOptions opt = fast_options();
+  opt.pcg.record_history = true;
+
+  SpcgSetup<double> setup = spcg_setup(a, opt);
+  const IluPreconditioner<double> m(setup.factors, setup.l_schedule,
+                                    setup.u_schedule, opt.executor);
+  const SolveResult<double> serial = pipelined_pcg(a, b, m, opt.pcg);
+
+  DistOptions dopt;
+  dopt.parts = 1;
+  dopt.options = opt;
+  dopt.body = DistBody::kCommReduced;
+  dopt.transport.kind = GetParam();
+  const DistSolveResult<double> dist =
+      dist_pcg_solve(b, dist_setup(a, dopt), dopt);
+  EXPECT_EQ(dist.solve.iterations, serial.iterations);
+  EXPECT_EQ(dist.solve.x, serial.x);  // bitwise
+  EXPECT_EQ(dist.solve.residual_history, serial.residual_history);
+}
+
+TEST_P(TransportConformance, CommReducedDoesOneAllreducePerIteration) {
+  const Csr<double> a = gen_poisson2d(16, 16);
+  const std::vector<double> b = make_rhs(a, 3);
+
+  auto run = [&](DistBody body) {
+    DistOptions dopt;
+    dopt.parts = 2;
+    dopt.options = fast_options();
+    dopt.body = body;
+    dopt.transport.kind = GetParam();
+    return dist_pcg_solve(b, dist_setup(a, dopt), dopt);
+  };
+  const DistSolveResult<double> classic = run(DistBody::kClassic);
+  const DistSolveResult<double> reduced = run(DistBody::kCommReduced);
+  ASSERT_TRUE(classic.solve.converged());
+  ASSERT_TRUE(reduced.solve.converged());
+  // Exact collective budgets: classic = 2/iter + {||b||, initial, finish};
+  // comm-reduced = 1/iter + {fused startup, finish}.
+  const auto classic_iters =
+      static_cast<std::uint64_t>(classic.solve.iterations);
+  const auto reduced_iters =
+      static_cast<std::uint64_t>(reduced.solve.iterations);
+  EXPECT_EQ(classic.stats.allreduces, 2 * classic_iters + 3);
+  EXPECT_EQ(reduced.stats.allreduces, reduced_iters + 2);
+  EXPECT_LT(reduced.stats.allreduces, classic.stats.allreduces);
+}
+
+TEST_P(TransportConformance, InjectedLatencyIsAccountedAsWaitTime) {
+  TransportOptions opt = options();
+  opt.inject_latency_us = 500;
+  auto group = make_transport_group(2, {}, opt);
+  auto errors = run_group(*group, [&](Communicator<double>& comm) {
+    for (int i = 0; i < 4; ++i) comm.allreduce1(1.0);
+  });
+  for (const auto& e : errors) EXPECT_FALSE(e);
+  // 4 collectives x 500us injected on each endpoint.
+  EXPECT_GE(group->transport(0).stats().wait_seconds, 4 * 500e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackings, TransportConformance,
+    ::testing::Values(TransportKind::kInProcess, TransportKind::kSharedMemory,
+                      TransportKind::kSocket),
+    [](const ::testing::TestParamInfo<TransportKind>& info) {
+      switch (info.param) {
+        case TransportKind::kInProcess: return "InProcess";
+        case TransportKind::kSharedMemory: return "SharedMemory";
+        case TransportKind::kSocket: return "Socket";
+      }
+      return "Unknown";
+    });
+
+// ---------------------------------------------------------------------------
+// SocketMultiProcess — true cross-process ranks over the TCP transport
+
+TEST(SocketMultiProcess, AllreduceAndWindowAcrossForkedProcesses) {
+  TransportOptions opt;
+  opt.kind = TransportKind::kSocket;
+  opt.collective_timeout_seconds = 20.0;
+  const std::array<std::size_t, 2> window_bytes{sizeof(double),
+                                                sizeof(double)};
+  int port = 0;
+  // Hub first (binds and reports the ephemeral port), then fork the worker:
+  // the child's connect lands in the hub's listen backlog.
+  auto hub = make_process_transport(
+      0, 2, std::span<const std::size_t>(window_bytes), opt, &port);
+  ASSERT_GT(port, 0);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child = rank 1. No gtest assertions here — report via the exit code.
+    int code = 0;
+    try {
+      TransportOptions wopt = opt;
+      wopt.socket_port = port;
+      auto worker = make_process_transport(
+          1, 2, std::span<const std::size_t>(window_bytes), wopt);
+      for (int i = 0; i < 20 && code == 0; ++i) {
+        std::array<double, 2> v{2.5, static_cast<double>(i)};
+        worker->reduce_begin(std::span<const double>(v));
+        std::array<double, 2> out{};
+        worker->reduce_end(std::span<double>(out));
+        if (out[0] != 1.5 + 2.5 || out[1] != 2.0 * i) code = 2;
+      }
+      const double mine = 41.0;
+      worker->window_begin(&mine, sizeof(mine));
+      worker->window_end();
+      double got0 = 0.0, got1 = 0.0;
+      std::memcpy(&got0, worker->window(0), sizeof(double));
+      std::memcpy(&got1, worker->window(1), sizeof(double));
+      if (got0 != 40.0 || got1 != 41.0) code = 3;
+      worker->barrier();
+    } catch (...) {
+      code = 1;
+    }
+    _exit(code);
+  }
+
+  // Parent = rank 0 (the hub).
+  for (int i = 0; i < 20; ++i) {
+    std::array<double, 2> v{1.5, static_cast<double>(i)};
+    hub->reduce_begin(std::span<const double>(v));
+    std::array<double, 2> out{};
+    hub->reduce_end(std::span<double>(out));
+    EXPECT_EQ(out[0], 1.5 + 2.5);
+    EXPECT_EQ(out[1], 2.0 * i);
+  }
+  const double mine = 40.0;
+  hub->window_begin(&mine, sizeof(mine));
+  hub->window_end();
+  double got1 = 0.0;
+  std::memcpy(&got1, hub->window(1), sizeof(double));
+  EXPECT_EQ(got1, 41.0);
+  hub->barrier();
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -367,6 +691,53 @@ TEST(DistSolve, SinglePartOverlappedIsBitwiseEqualToPipelinedPcg) {
   EXPECT_EQ(dist.solve.residual_history, serial.residual_history);
 }
 
+TEST(DistSolve, SinglePartCommReducedIsBitwiseEqualToPipelinedPcg) {
+  const Csr<double> a = gen_poisson2d(20, 20);
+  const std::vector<double> b = make_rhs(a, 6);
+  SpcgOptions opt = fast_options();
+  opt.pcg.record_history = true;
+
+  SpcgSetup<double> setup = spcg_setup(a, opt);
+  const IluPreconditioner<double> m(setup.factors, setup.l_schedule,
+                                    setup.u_schedule, opt.executor);
+  const SolveResult<double> serial = pipelined_pcg(a, b, m, opt.pcg);
+
+  DistOptions dopt;
+  dopt.parts = 1;
+  dopt.options = opt;
+  dopt.body = DistBody::kCommReduced;
+  const DistSolveResult<double> dist =
+      dist_pcg_solve(b, dist_setup(a, dopt), dopt);
+
+  EXPECT_EQ(dist.solve.status, serial.status);
+  EXPECT_EQ(dist.solve.iterations, serial.iterations);
+  EXPECT_EQ(dist.solve.x, serial.x);  // bitwise
+  EXPECT_EQ(dist.solve.final_residual_norm, serial.final_residual_norm);
+  EXPECT_EQ(dist.solve.residual_history, serial.residual_history);
+}
+
+TEST(DistSolve, MultiPartCommReducedConvergesOnPoisson) {
+  const Csr<double> a = gen_poisson2d(24, 24);
+  const std::vector<double> b = make_rhs(a, 11);
+  const SpcgOptions opt = fast_options();
+  const SpcgResult<double> serial = spcg_solve(a, b, opt);
+  ASSERT_TRUE(serial.solve.converged());
+
+  for (const index_t parts : {2, 4}) {
+    DistOptions dopt;
+    dopt.parts = parts;
+    dopt.options = opt;
+    dopt.body = DistBody::kCommReduced;
+    const DistSolveResult<double> dist =
+        dist_pcg_solve(b, dist_setup(a, dopt), dopt);
+    EXPECT_TRUE(dist.solve.converged()) << "parts=" << parts;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      EXPECT_NEAR(dist.solve.x[i], serial.solve.x[i], 1e-6)
+          << "parts=" << parts << " row " << i;
+    }
+  }
+}
+
 TEST(DistSolve, MultiPartConvergesOnPoisson) {
   const Csr<double> a = gen_poisson2d(24, 24);
   const std::vector<double> b = make_rhs(a, 2);
@@ -459,6 +830,32 @@ TEST(DistSession, CacheSharesSubdomainSetupsAcrossSessions) {
   const DistSolverSession<double> second(a, opt, cache);
   EXPECT_EQ(second.subdomain_cache_hits(), 3);
 
+  const DistSolveResult<double> run = second.solve(b);
+  EXPECT_TRUE(run.solve.converged());
+}
+
+TEST(DistSession, SamePatternValuesChangeTakesPartialHitFastPath) {
+  // Second session solves the same pattern with scaled values: every
+  // subdomain setup should come from the same-pattern refresh path, not a
+  // cold rebuild (and not an exact hit — the values differ).
+  const Csr<double> base = gen_poisson2d(16, 16);
+  Csr<double> scaled = base;
+  for (double& v : scaled.values) v *= 1.5;
+
+  DistOptions opt;
+  opt.parts = 3;
+  opt.options = fast_options();
+  auto cache = std::make_shared<SetupCache<double>>(16);
+
+  const DistSolverSession<double> first(base, opt, cache);
+  EXPECT_EQ(first.subdomain_cache_hits(), 0);
+  EXPECT_EQ(first.subdomain_partial_hits(), 0);
+
+  const DistSolverSession<double> second(scaled, opt, cache);
+  EXPECT_EQ(second.subdomain_cache_hits(), 0);
+  EXPECT_EQ(second.subdomain_partial_hits(), 3);
+
+  const std::vector<double> b = make_rhs(scaled, 4);
   const DistSolveResult<double> run = second.solve(b);
   EXPECT_TRUE(run.solve.converged());
 }
